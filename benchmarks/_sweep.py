@@ -1,0 +1,42 @@
+"""Shared helpers for the figure benches (speedup / Gflops sweeps)."""
+
+from __future__ import annotations
+
+from repro.experiments import best_metis, format_series, speedup_sweep
+
+
+def sweep_and_render(ne: int, quantity: str, title: str) -> tuple[str, dict]:
+    """Run the full sweep for a resolution and render a figure series.
+
+    Args:
+        ne: Resolution.
+        quantity: ``"speedup"`` or ``"gflops"``.
+        title: Figure title for the artifact.
+
+    Returns:
+        ``(text, data)`` where data has ``nprocs``, ``sfc`` and
+        ``metis`` value lists for assertions.
+    """
+    results = speedup_sweep(ne)
+    nprocs = [r.nproc for r in results["sfc"]]
+
+    def value(r):
+        return r.speedup if quantity == "speedup" else r.gflops
+
+    sfc_vals = [value(r) for r in results["sfc"]]
+    metis_vals = [value(best_metis(results, i)) for i in range(len(nprocs))]
+    metis_methods = [best_metis(results, i).method for i in range(len(nprocs))]
+    text = format_series(
+        "Nproc",
+        nprocs,
+        {
+            f"SFC {quantity}": [f"{v:.1f}" for v in sfc_vals],
+            f"best METIS {quantity}": [f"{v:.1f}" for v in metis_vals],
+            "best METIS method": metis_methods,
+            "SFC advantage": [
+                f"{(a / b - 1) * 100:+.0f}%" for a, b in zip(sfc_vals, metis_vals)
+            ],
+        },
+        title=title,
+    )
+    return text, {"nprocs": nprocs, "sfc": sfc_vals, "metis": metis_vals}

@@ -1,0 +1,116 @@
+"""Ablation — why Hilbert, not a cheaper ordering?
+
+Compares the paper's curves against boustrophedon scanlines (continuous
+but stringy) and Morton/Z-order (compact but discontinuous) on the
+face-local locality metrics, plus the end-to-end effect of cutting a
+face with each ordering.  This quantifies both properties the Hilbert
+family needs: segment compactness (drives communication volume) and
+unit-step continuity (enables the 6-face chaining of Fig. 6).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments import format_table
+from repro.sfc import analyze_curve, hilbert_curve
+from repro.sfc.baselines import (
+    boustrophedon_curve,
+    is_continuous_ordering,
+    morton_curve,
+)
+
+SIZE_LEVEL = 5  # 32 x 32 face
+NSEG = 16
+
+
+def _curves():
+    return {
+        "hilbert": hilbert_curve(SIZE_LEVEL),
+        "morton": morton_curve(SIZE_LEVEL),
+        "boustrophedon": boustrophedon_curve(2**SIZE_LEVEL),
+    }
+
+
+def test_curve_baseline_reproduction(benchmark, save_artifact):
+    curves = benchmark.pedantic(_curves, rounds=1, iterations=1)
+    rows = []
+    stats = {}
+    for name, curve in curves.items():
+        loc = analyze_curve(curve, nsegments=NSEG)
+        cont = is_continuous_ordering(curve)
+        stats[name] = (loc, cont)
+        rows.append(
+            [
+                name,
+                "yes" if cont else "NO",
+                f"{loc.mean_bbox_aspect:.2f}",
+                f"{loc.mean_surface_to_volume:.3f}",
+                loc.max_neighbor_stretch,
+            ]
+        )
+    save_artifact(
+        "ablation_curve_baselines",
+        format_table(
+            ["ordering", "continuous", "bbox aspect", "surf/vol", "max stretch"],
+            rows,
+            title=f"Face-local orderings, {2**SIZE_LEVEL}x{2**SIZE_LEVEL}, {NSEG} segments",
+        ),
+    )
+    hil, _ = stats["hilbert"]
+    mor, mor_cont = stats["morton"]
+    bou, bou_cont = stats["boustrophedon"]
+    # Hilbert: continuous AND compact.
+    assert stats["hilbert"][1]
+    assert hil.mean_surface_to_volume <= mor.mean_surface_to_volume + 1e-9
+    assert hil.mean_surface_to_volume < bou.mean_surface_to_volume
+    # Morton: compact but discontinuous; boustrophedon: the reverse.
+    assert not mor_cont
+    assert bou_cont
+
+
+def test_hilbert_vs_scanline_partition_quality(benchmark, save_artifact):
+    """Cut the K=1536 cubed-sphere with the gid order (face-major
+    scanline, i.e. the `block` method) vs the Hilbert curve: the curve
+    should cut substantially less at moderate part counts."""
+    from repro.cubesphere import cubed_sphere_mesh
+    from repro.graphs import mesh_graph
+    from repro.partition import block_partition, evaluate_partition, sfc_partition
+
+    def run():
+        mesh = cubed_sphere_mesh(16)
+        graph = mesh_graph(mesh)
+        out = {}
+        for nparts in (24, 96, 384):
+            sfc = evaluate_partition(graph, sfc_partition(16, nparts))
+            blk = evaluate_partition(graph, block_partition(mesh.nelem, nparts))
+            out[nparts] = (sfc, blk)
+        return out
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    rows = []
+    for nparts, (sfc, blk) in results.items():
+        rows.append(
+            [nparts, sfc.edgecut, blk.edgecut, f"{blk.edgecut / sfc.edgecut:.2f}x"]
+        )
+    save_artifact(
+        "ablation_hilbert_vs_scanline",
+        format_table(
+            ["Nproc", "hilbert cut", "scanline cut", "ratio"],
+            rows,
+            title="Edgecut: Hilbert curve vs storage-order blocks, K=1536",
+        ),
+    )
+    sfc24, blk24 = results[24]
+    assert sfc24.edgecut < blk24.edgecut
+
+
+@pytest.mark.parametrize("name", ["hilbert", "morton", "boustrophedon"])
+def test_ordering_generation_speed(benchmark, name):
+    gens = {
+        "hilbert": lambda: hilbert_curve(SIZE_LEVEL),
+        "morton": lambda: morton_curve(SIZE_LEVEL),
+        "boustrophedon": lambda: boustrophedon_curve(2**SIZE_LEVEL),
+    }
+    curve = benchmark(gens[name])
+    assert curve.size == 2**SIZE_LEVEL

@@ -1,0 +1,39 @@
+"""Extension — convergence of the spectral-element substrate.
+
+Credibility check for the cost model's numerical core: transport error
+must fall spectrally with the GLL order and with element refinement.
+"""
+
+from __future__ import annotations
+
+from repro.experiments import format_table
+from repro.experiments.convergence import transport_convergence
+
+
+def test_transport_convergence_reproduction(benchmark, save_artifact):
+    points = benchmark.pedantic(
+        transport_convergence,
+        kwargs={"nes": (2, 4), "npts_list": (4, 6, 8)},
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [p.ne, p.npts, p.dof, *p.norms.as_row()]
+        for p in points
+    ]
+    save_artifact(
+        "convergence_transport",
+        format_table(
+            ["Ne", "np", "DOF", "l1", "l2", "linf"],
+            rows,
+            title="Transport error vs resolution (cosine bell, half radian)",
+        ),
+    )
+    by = {(p.ne, p.npts): p.norms.l2 for p in points}
+    # Spectral decay in np at fixed ne.
+    assert by[(2, 8)] < by[(2, 4)] / 5
+    assert by[(4, 8)] < by[(4, 4)] / 5
+    # Refinement in ne at fixed np helps too.
+    assert by[(4, 6)] < by[(2, 6)]
+    # SEAM's operating point is accurate.
+    assert by[(4, 8)] < 5e-3

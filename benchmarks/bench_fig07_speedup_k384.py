@@ -1,0 +1,43 @@
+"""Figure 7 — speedup vs single processor, K=384, SFC vs METIS.
+
+Paper claims reproduced as assertions: SFC comparable to METIS at
+small processor counts; advantage above 50 processors (fewer than 8
+elements per processor); large advantage at 384 processors (paper:
+37%; we assert double digits — the absolute % depends on network
+constants, the shape does not).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _sweep import sweep_and_render
+
+from repro.experiments import run_method
+
+NE = 8
+
+
+def test_fig07_reproduction(benchmark, save_artifact):
+    text, data = benchmark.pedantic(
+        sweep_and_render,
+        args=(NE, "speedup", "Figure 7: speedup, K=384, SFC vs best METIS"),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("fig07_speedup_k384", text)
+    nprocs, sfc, metis = data["nprocs"], data["sfc"], data["metis"]
+    for n, a, b in zip(nprocs, sfc, metis):
+        if n <= 48:
+            assert a > 0.9 * b, f"SFC should be comparable at Nproc={n}"
+        if n > 50:
+            assert a > b, f"SFC should win above 50 procs (Nproc={n})"
+    i384 = nprocs.index(384)
+    assert sfc[i384] / metis[i384] - 1 > 0.10
+
+
+def test_fig07_single_point_speed(benchmark):
+    """Time one full sweep point (partition + metrics + machine model)."""
+    benchmark(run_method, NE, 96, "sfc")

@@ -1,0 +1,43 @@
+"""Figure 8 — speedup vs single processor, K=486 (m-Peano curve).
+
+Validates "the effectiveness of the m-Peano curve for size 3^m
+problems": the sweep uses the pure meandering-Peano curve (Ne = 9 =
+3^2) and must show the same shape as Figure 7 — parity at small
+counts, SFC ahead above 50 processors.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _sweep import sweep_and_render
+
+from repro.experiments import resolution_by_k, run_method
+
+NE = 9
+
+
+def test_fig08_reproduction(benchmark, save_artifact):
+    assert resolution_by_k(486).curve_family == "m-peano"
+    text, data = benchmark.pedantic(
+        sweep_and_render,
+        args=(NE, "speedup", "Figure 8: speedup, K=486, SFC (m-Peano) vs best METIS"),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("fig08_speedup_k486", text)
+    nprocs, sfc, metis = data["nprocs"], data["sfc"], data["metis"]
+    for n, a, b in zip(nprocs, sfc, metis):
+        if n <= 50:
+            assert a > 0.9 * b
+        if n > 50:
+            assert a >= b, f"SFC should not lose above 50 procs (Nproc={n})"
+    # Paper: 51% at 486 processors; assert a clear advantage.
+    i486 = nprocs.index(486)
+    assert sfc[i486] / metis[i486] - 1 > 0.05
+
+
+def test_fig08_single_point_speed(benchmark):
+    benchmark(run_method, NE, 162, "sfc")

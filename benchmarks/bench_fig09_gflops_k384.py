@@ -1,0 +1,44 @@
+"""Figure 9 — sustained floating-point execution rate, K=384.
+
+The paper plots total sustained Gflop/s of SEAM under SFC and the best
+METIS partitioning on the P690.  Anchors: single-processor rate is 841
+Mflop/s (16% of Power-4 peak) by construction; the SFC series peaks at
+384 processors with a double-digit advantage (paper: 37%).
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).parent))
+from _sweep import sweep_and_render
+
+from repro.experiments import run_method
+
+NE = 8
+
+
+def test_fig09_reproduction(benchmark, save_artifact):
+    text, data = benchmark.pedantic(
+        sweep_and_render,
+        args=(NE, "gflops", "Figure 9: sustained Gflop/s, K=384, SFC vs best METIS"),
+        rounds=1,
+        iterations=1,
+    )
+    save_artifact("fig09_gflops_k384", text)
+    nprocs, sfc, metis = data["nprocs"], data["sfc"], data["metis"]
+    # Single-processor anchor: 841 Mflop/s.
+    assert sfc[0] == pytest.approx(0.841, abs=0.001)
+    # Rate grows with processors and SFC ends ahead.
+    assert sfc[-1] > sfc[0] * 50
+    assert sfc[-1] > metis[-1] * 1.10
+    # Sustained rate never exceeds Nproc * single-proc rate.
+    for n, v in zip(nprocs, sfc):
+        assert v <= n * 0.842
+
+
+def test_fig09_single_point_speed(benchmark):
+    benchmark(run_method, NE, 384, "sfc")

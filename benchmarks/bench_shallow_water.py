@@ -1,0 +1,79 @@
+"""Extension — the shallow-water dynamical core (paper ref. [9]).
+
+Validates and times the nonlinear SW solver: Williamson TC2 held
+steady (the geostrophic-balance benchmark every SW dynamical core must
+pass), with per-step throughput measured at SEAM's np=8 — the numbers
+behind the cost model's flops-per-element accounting.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import format_table
+from repro.seam import ShallowWaterSolver, build_geometry, williamson_tc2
+
+
+def _hold_tc2(ne: int, npts: int, t_end: float):
+    geom = build_geometry(ne, npts)
+    solver = ShallowWaterSolver(geom)
+    state0 = williamson_tc2(geom)
+    state = solver.run(state0, t_end=t_end, cfl=0.4)
+    return {
+        "ne": ne,
+        "npts": npts,
+        "dh": float(np.abs(state.h - state0.h).max()),
+        "dv": float(np.abs(state.v - state0.v).max()),
+        "mass_drift": abs(solver.total_mass(state) - solver.total_mass(state0))
+        / solver.total_mass(state0),
+        "energy_drift": abs(
+            solver.total_energy(state) - solver.total_energy(state0)
+        )
+        / solver.total_energy(state0),
+        "rhs_evals": solver.rhs_evals,
+    }
+
+
+def test_tc2_hold_reproduction(benchmark, save_artifact):
+    results = benchmark.pedantic(
+        lambda: [_hold_tc2(2, 6, 0.5), _hold_tc2(3, 8, 0.5)],
+        rounds=1,
+        iterations=1,
+    )
+    rows = [
+        [
+            r["ne"],
+            r["npts"],
+            f"{r['dh']:.2e}",
+            f"{r['dv']:.2e}",
+            f"{r['mass_drift']:.1e}",
+            f"{r['energy_drift']:.1e}",
+            r["rhs_evals"],
+        ]
+        for r in results
+    ]
+    save_artifact(
+        "shallow_water_tc2",
+        format_table(
+            ["Ne", "np", "max|dh|", "max|dv|", "mass drift", "energy drift", "RHS evals"],
+            rows,
+            title="Williamson TC2 steady-state hold (t = 0.5)",
+        ),
+    )
+    for r in results:
+        assert r["dh"] < 1e-3
+        assert r["mass_drift"] < 1e-12
+        assert r["energy_drift"] < 1e-8
+    # Higher order holds the balance tighter.
+    assert results[1]["dh"] < results[0]["dh"]
+
+
+@pytest.mark.parametrize("ne", [2, 4], ids=lambda n: f"ne{n}")
+def test_sw_step_throughput(benchmark, ne):
+    geom = build_geometry(ne, 8)
+    solver = ShallowWaterSolver(geom)
+    state = williamson_tc2(geom)
+    dt = solver.stable_dt(state, 0.4)
+    result = benchmark(solver.step, state, dt)
+    assert np.isfinite(result.h).all()

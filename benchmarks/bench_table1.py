@@ -1,0 +1,52 @@
+"""Table 1 — SEAM test resolutions and their SFC configurations.
+
+Regenerates the paper's Table 1 (element counts, processor ranges,
+Hilbert/m-Peano levels per resolution) and benchmarks global-curve
+construction at each resolution, which is the setup cost a model pays
+once per run.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cubesphere import build_curve, cubed_sphere_mesh
+from repro.experiments import PAPER_RESOLUTIONS, format_table
+
+
+def _table1_rows():
+    rows = []
+    for res in PAPER_RESOLUTIONS:
+        nprocs = res.nprocs()
+        rows.append(
+            [
+                res.k,
+                f"1 to {nprocs[-1]}",
+                res.ne,
+                res.hilbert_level,
+                res.peano_level,
+            ]
+        )
+    return rows
+
+
+def test_table1_reproduction(benchmark, save_artifact):
+    rows = benchmark.pedantic(_table1_rows, rounds=1, iterations=1)
+    text = format_table(
+        ["K (# of elements)", "Nproc", "Ne", "Hilbert level", "m-Peano level"],
+        rows,
+        title="Table 1: SEAM test resolutions",
+    )
+    save_artifact("table1", text)
+    # Paper values.
+    assert rows[0][:1] + rows[0][2:] == [384, 8, 3, 0]
+    assert rows[1][:1] + rows[1][2:] == [486, 9, 0, 2]
+    assert rows[2][:1] + rows[2][2:] == [1536, 16, 4, 0]
+    assert rows[3][:1] + rows[3][2:] == [1944, 18, 1, 2]
+
+
+@pytest.mark.parametrize("res", PAPER_RESOLUTIONS, ids=lambda r: f"K{r.k}")
+def test_curve_construction_speed(benchmark, res):
+    mesh = cubed_sphere_mesh(res.ne)
+    curve = benchmark(build_curve, mesh)
+    assert len(curve) == res.k

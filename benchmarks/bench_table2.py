@@ -1,0 +1,69 @@
+"""Table 2 — partition statistics for K=1536 on 768 processors.
+
+Regenerates the paper's Table 2 (LB(nelemd), LB(spcv), TCV, edgecut,
+time per step for SFC/KWAY/TV/RB) and benchmarks each partitioner at
+the paper's scale.
+
+Paper-vs-measured notes (see EXPERIMENTS.md): with the default
+shallow-water cost model (nlev=1) TCV is ~1 MB; the paper's 16.8 MB
+corresponds to a multi-level configuration, reproduced here with
+nlev=16, which scales TCV without changing any ranking.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cubesphere import cubed_sphere_mesh
+from repro.experiments import render_table2, table2
+from repro.graphs import mesh_graph
+from repro.metis import part_graph
+from repro.partition import sfc_partition
+from repro.seam import SEAMCostModel
+
+NE, NPROC = 16, 768
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return mesh_graph(cubed_sphere_mesh(NE))
+
+
+def test_table2_reproduction(benchmark, save_artifact):
+    rows = benchmark.pedantic(
+        table2, kwargs={"ne": NE, "nproc": NPROC}, rounds=1, iterations=1
+    )
+    text = render_table2(rows, k=6 * NE * NE, nproc=NPROC)
+    # Multi-level configuration matching the paper's TCV magnitude.
+    rows16 = table2(ne=NE, nproc=NPROC, cost=SEAMCostModel(nlev=16))
+    text += "\n\n" + render_table2(rows16, k=6 * NE * NE, nproc=NPROC).replace(
+        "Partition statistics", "Partition statistics (nlev=16 cost model)"
+    )
+    save_artifact("table2", text)
+
+    by = {r.method: r for r in rows}
+    # Paper shape: SFC perfectly balanced and fastest.
+    assert by["SFC"].lb_nelemd == 0.0
+    assert by["SFC"].time_us == min(r.time_us for r in rows)
+    # METIS methods imbalanced at 2 elements/processor.
+    assert by["KWAY"].lb_nelemd > 0.2
+    # KWAY minimizes edgecut.
+    assert by["KWAY"].edgecut == min(r.edgecut for r in rows)
+    # Paper's TV anomaly check: record whether TV beat KWAY on measured
+    # TCV (the paper found it did not, "contradicting the expected
+    # minimization property"); either way TV must be within noise.
+    assert by["TV"].tcv_mbytes < 1.2 * by["KWAY"].tcv_mbytes
+    # nlev=16 lands in the paper's TCV ballpark (16.8 MB for KWAY).
+    by16 = {r.method: r for r in rows16}
+    assert 10 < by16["KWAY"].tcv_mbytes < 25
+
+
+def test_partition_speed_sfc(benchmark):
+    benchmark(sfc_partition, NE, NPROC)
+
+
+@pytest.mark.parametrize("method", ["rb", "kway", "tv"])
+def test_partition_speed_metis(benchmark, graph, method):
+    benchmark.pedantic(
+        part_graph, args=(graph, NPROC, method), rounds=2, iterations=1
+    )

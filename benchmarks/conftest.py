@@ -1,0 +1,29 @@
+"""Benchmark-suite fixtures: artifact saving and shared graphs.
+
+Every bench regenerates one table or figure of the paper, times the
+partitioning work with pytest-benchmark, and writes the reproduced
+table/series to ``benchmarks/results/<name>.txt`` so the reproduction
+artifacts survive the run (pytest captures stdout).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+@pytest.fixture(scope="session")
+def save_artifact():
+    """Write a named reproduction artifact and echo it to stdout."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name: str, text: str) -> Path:
+        path = RESULTS_DIR / f"{name}.txt"
+        path.write_text(text + "\n")
+        print(f"\n[{name}] -> {path}\n{text}")
+        return path
+
+    return _save

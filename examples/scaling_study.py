@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Strong-scaling study: the paper's Figures 7-10 as text plots.
+
+Sweeps every admissible processor count for a chosen resolution,
+simulates SEAM on the P690 machine model under SFC and METIS-style
+partitions, and renders speedup and sustained-Gflops curves as ASCII
+plots plus the underlying series table.
+
+Run:  python examples/scaling_study.py [Ne]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import (
+    best_metis,
+    format_series,
+    speedup_sweep,
+)
+
+
+def ascii_plot(xs, series: dict[str, list[float]], width=64, height=18, title=""):
+    """Minimal log-x scatter plot with one marker per series."""
+    import math
+
+    markers = "ox+*#"
+    all_vals = [v for vals in series.values() for v in vals]
+    ymax = max(all_vals) * 1.05
+    xmin, xmax = math.log(max(min(xs), 1)), math.log(max(xs))
+    grid = [[" "] * width for _ in range(height)]
+    for (name, vals), mark in zip(series.items(), markers):
+        for x, y in zip(xs, vals):
+            cx = (
+                int((math.log(x) - xmin) / (xmax - xmin) * (width - 1))
+                if xmax > xmin
+                else 0
+            )
+            cy = int(y / ymax * (height - 1))
+            grid[height - 1 - cy][cx] = mark
+    lines = [title] if title else []
+    lines += ["|" + "".join(row) for row in grid]
+    lines.append("+" + "-" * width)
+    lines.append(f" Nproc (log scale): {min(xs)} .. {max(xs)};  ymax = {ymax:.1f}")
+    legend = "  ".join(f"{m}={n}" for (n, _), m in zip(series.items(), markers))
+    lines.append(" " + legend)
+    return "\n".join(lines)
+
+
+def main() -> None:
+    ne = int(sys.argv[1]) if len(sys.argv) > 1 else 8
+    k = 6 * ne * ne
+    print(f"Strong scaling, K={k} (Ne={ne}) on the simulated IBM P690\n")
+    results = speedup_sweep(ne)
+    nprocs = [r.nproc for r in results["sfc"]]
+
+    speedups = {
+        "sfc": [r.speedup for r in results["sfc"]],
+        "best metis": [best_metis(results, i).speedup for i in range(len(nprocs))],
+    }
+    gflops = {
+        "sfc": [r.gflops for r in results["sfc"]],
+        "best metis": [best_metis(results, i).gflops for i in range(len(nprocs))],
+    }
+    print(ascii_plot(nprocs, speedups, title=f"Speedup vs 1 processor (paper Fig. {7 if ne == 8 else 8})"))
+    print()
+    print(ascii_plot(nprocs, gflops, title="Sustained Gflop/s (paper Figs. 9-10)"))
+    print()
+    print(
+        format_series(
+            "Nproc",
+            nprocs,
+            {
+                "S(sfc)": [f"{v:.1f}" for v in speedups["sfc"]],
+                "S(metis)": [f"{v:.1f}" for v in speedups["best metis"]],
+                "GF(sfc)": [f"{v:.1f}" for v in gflops["sfc"]],
+                "GF(metis)": [f"{v:.1f}" for v in gflops["best metis"]],
+                "sfc advantage": [
+                    f"{(a / b - 1) * 100:+.0f}%"
+                    for a, b in zip(speedups["sfc"], speedups["best metis"])
+                ],
+            },
+        )
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,253 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands mirror the library's main workflows:
+
+* ``curve``     — render a space-filling curve's visit order;
+* ``partition`` — partition the cubed-sphere, print quality metrics,
+  optionally write the assignment and the METIS-format graph;
+* ``sweep``     — the paper's Figure 7-10 sweeps as a series table;
+* ``table2``    — the paper's Table 2 for any (Ne, Nproc).
+
+All output is plain text on stdout (machine-readable CSV via
+``--csv`` for ``partition`` and ``sweep``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+import numpy as np
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for testing)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Space-filling-curve partitioning on the cubed-sphere "
+            "(reproduction of Dennis, IPPS 2003)"
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p_curve = sub.add_parser("curve", help="render a space-filling curve")
+    group = p_curve.add_mutually_exclusive_group(required=True)
+    group.add_argument("--size", type=int, help="domain side (2^n * 3^m)")
+    group.add_argument(
+        "--schedule", type=str, help="refinement schedule over {H,P}, coarsest first"
+    )
+    p_curve.add_argument(
+        "--analyze", action="store_true", help="print locality statistics"
+    )
+
+    p_part = sub.add_parser("partition", help="partition the cubed-sphere")
+    p_part.add_argument("--ne", type=int, required=True, help="elements per face edge")
+    p_part.add_argument("--nparts", type=int, required=True, help="processor count")
+    p_part.add_argument(
+        "--method",
+        default="sfc",
+        choices=["sfc", "rb", "kway", "tv", "rcb", "block", "random"],
+    )
+    p_part.add_argument("--seed", type=int, default=0)
+    p_part.add_argument("--csv", action="store_true", help="CSV metric output")
+    p_part.add_argument(
+        "--write-assignment", type=Path, help="write gid->part as CSV"
+    )
+    p_part.add_argument(
+        "--write-graph", type=Path, help="write the element graph (METIS format)"
+    )
+
+    p_sweep = sub.add_parser("sweep", help="speedup/Gflops sweep (Figs. 7-10)")
+    p_sweep.add_argument("--ne", type=int, required=True)
+    p_sweep.add_argument(
+        "--methods", nargs="+", default=["sfc", "rb", "kway", "tv"]
+    )
+    p_sweep.add_argument("--nprocs", nargs="*", type=int, default=None)
+    p_sweep.add_argument("--csv", action="store_true")
+
+    p_t2 = sub.add_parser("table2", help="partition statistics (Table 2)")
+    p_t2.add_argument("--ne", type=int, default=16)
+    p_t2.add_argument("--nparts", type=int, default=768)
+    p_t2.add_argument("--nlev", type=int, default=1, help="cost-model levels")
+
+    p_trace = sub.add_parser(
+        "trace", help="per-rank compute/comm timeline of one step"
+    )
+    p_trace.add_argument("--ne", type=int, required=True)
+    p_trace.add_argument("--nparts", type=int, required=True)
+    p_trace.add_argument(
+        "--method",
+        default="sfc",
+        choices=["sfc", "rb", "kway", "tv", "rcb", "block", "random"],
+    )
+    p_trace.add_argument("--width", type=int, default=60)
+    p_trace.add_argument("--max-ranks", type=int, default=24)
+
+    p_report = sub.add_parser(
+        "report", help="structural report of a partition (fragmentation etc.)"
+    )
+    p_report.add_argument("--ne", type=int, required=True)
+    p_report.add_argument("--nparts", type=int, required=True)
+    p_report.add_argument(
+        "--method",
+        default="sfc",
+        choices=["sfc", "rb", "kway", "tv", "rcb", "block", "random"],
+    )
+    return parser
+
+
+def _cmd_curve(args: argparse.Namespace) -> int:
+    from .sfc import analyze_curve, generate_curve
+
+    curve = generate_curve(size=args.size, schedule=args.schedule)
+    print(f"schedule={curve.schedule or '(trivial)'} size={curve.size}")
+    print(curve.render())
+    if args.analyze:
+        loc = analyze_curve(curve)
+        print(
+            f"\nlocality: bbox_aspect={loc.mean_bbox_aspect:.3f} "
+            f"surface/volume={loc.mean_surface_to_volume:.3f} "
+            f"mean_stretch={loc.mean_neighbor_stretch:.2f} "
+            f"max_stretch={loc.max_neighbor_stretch}"
+        )
+    return 0
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from .cubesphere import cubed_sphere_mesh
+    from .experiments import make_partition
+    from .graphs import mesh_graph, write_metis_graph
+    from .partition import evaluate_partition
+
+    mesh = cubed_sphere_mesh(args.ne)
+    graph = mesh_graph(mesh)
+    part = make_partition(args.ne, args.nparts, args.method, seed=args.seed)
+    q = evaluate_partition(graph, part)
+    if args.csv:
+        print("method,nparts,lb_nelemd,lb_spcv,edgecut,tcv_points")
+        print(
+            f"{args.method},{args.nparts},{q.lb_nelemd:.6f},"
+            f"{q.lb_spcv:.6f},{q.edgecut},{q.total_volume_points}"
+        )
+    else:
+        print(f"K={mesh.nelem} method={args.method} nparts={args.nparts}")
+        print(f"LB(nelemd)   = {q.lb_nelemd:.4f}")
+        print(f"LB(spcv)     = {q.lb_spcv:.4f}")
+        print(f"edgecut      = {q.edgecut}")
+        print(f"TCV (points) = {q.total_volume_points}")
+    if args.write_assignment:
+        lines = ["gid,part"] + [
+            f"{gid},{int(p)}" for gid, p in enumerate(part.assignment)
+        ]
+        args.write_assignment.write_text("\n".join(lines) + "\n")
+        print(f"wrote {args.write_assignment}", file=sys.stderr)
+    if args.write_graph:
+        write_metis_graph(graph, args.write_graph)
+        print(f"wrote {args.write_graph}", file=sys.stderr)
+    return 0
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    from .experiments import format_series, speedup_sweep
+
+    results = speedup_sweep(
+        args.ne, methods=tuple(args.methods), nprocs=args.nprocs or None
+    )
+    nprocs = [r.nproc for r in results[args.methods[0]]]
+    if args.csv:
+        header = ["nproc"]
+        for m in args.methods:
+            header += [f"speedup_{m}", f"gflops_{m}"]
+        print(",".join(header))
+        for i, n in enumerate(nprocs):
+            row = [str(n)]
+            for m in args.methods:
+                r = results[m][i]
+                row += [f"{r.speedup:.3f}", f"{r.gflops:.3f}"]
+            print(",".join(row))
+    else:
+        series: dict[str, list[str]] = {}
+        for m in args.methods:
+            series[f"S({m})"] = [f"{r.speedup:.1f}" for r in results[m]]
+        print(format_series("Nproc", nprocs, series, title=f"Speedup, Ne={args.ne}"))
+    return 0
+
+
+def _cmd_table2(args: argparse.Namespace) -> int:
+    from .experiments import render_table2, table2
+    from .seam import SEAMCostModel
+
+    cost = SEAMCostModel(nlev=args.nlev)
+    rows = table2(ne=args.ne, nproc=args.nparts, cost=cost)
+    print(render_table2(rows, k=6 * args.ne * args.ne, nproc=args.nparts))
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from .cubesphere import cubed_sphere_mesh
+    from .experiments import make_partition
+    from .graphs import mesh_graph
+    from .machine import PerformanceModel, trace_step
+
+    graph = mesh_graph(cubed_sphere_mesh(args.ne))
+    part = make_partition(args.ne, args.nparts, args.method)
+    trace = trace_step(PerformanceModel(), graph, part)
+    print(
+        f"K={graph.nvertices} method={args.method} nparts={args.nparts} "
+        f"idle={100 * trace.idle_fraction():.0f}%"
+    )
+    print(trace.render(width=args.width, max_ranks=args.max_ranks))
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    from .cubesphere import cubed_sphere_mesh
+    from .experiments import format_table, make_partition
+    from .graphs import mesh_graph
+    from .partition.analysis import analyze_structure
+
+    graph = mesh_graph(cubed_sphere_mesh(args.ne))
+    part = make_partition(args.ne, args.nparts, args.method)
+    structure = analyze_structure(graph, part)
+    print(
+        f"K={graph.nvertices} method={args.method} nparts={args.nparts}: "
+        f"{structure.fragmented_parts} fragmented parts, "
+        f"max diameter {structure.max_diameter}, "
+        f"mean boundary fraction {structure.mean_boundary_fraction:.2f}"
+    )
+    print(f"cut weight by interface kind: {structure.cut_weight_by_kind}")
+    rows = [
+        [s.part, s.size, s.components, s.diameter, s.boundary_elements]
+        for s in structure.worst_parts(8)
+    ]
+    print(
+        format_table(
+            ["part", "size", "components", "diameter", "boundary elems"],
+            rows,
+            title="Worst parts (most fragmented / stretched)",
+        )
+    )
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = build_parser().parse_args(argv)
+    np.set_printoptions(linewidth=120)
+    handlers = {
+        "curve": _cmd_curve,
+        "partition": _cmd_partition,
+        "sweep": _cmd_sweep,
+        "table2": _cmd_table2,
+        "trace": _cmd_trace,
+        "report": _cmd_report,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,42 @@
+"""Cubed-sphere substrate: topology, gnomonic geometry, mesh, global SFC.
+
+Implements the computational domain of Dennis (2003): the gnomonic
+projection of a subdivided cube onto the sphere (Fig. 1), element
+adjacency including cross-face edges and cube corners, and the single
+continuous space-filling curve over all six faces (Fig. 6).
+"""
+
+from .curve import CubedSphereCurve, FaceChain, build_curve, cubed_sphere_curve, find_face_chain
+from .mesh import CubedSphereMesh, cubed_sphere_mesh
+from .refinement import RefinedMesh, refine_uniform, refine_where
+from .projection import (
+    PROJECTIONS,
+    element_center_local,
+    face_local_grid,
+    local_to_sphere,
+    sphere_to_lonlat,
+)
+from .topology import FACES, NUM_FACES, Face, corner_nodes_scaled, face_point
+
+__all__ = [
+    "CubedSphereCurve",
+    "CubedSphereMesh",
+    "FACES",
+    "Face",
+    "FaceChain",
+    "NUM_FACES",
+    "PROJECTIONS",
+    "RefinedMesh",
+    "build_curve",
+    "corner_nodes_scaled",
+    "cubed_sphere_curve",
+    "cubed_sphere_mesh",
+    "element_center_local",
+    "face_local_grid",
+    "face_point",
+    "find_face_chain",
+    "local_to_sphere",
+    "refine_uniform",
+    "refine_where",
+    "sphere_to_lonlat",
+]

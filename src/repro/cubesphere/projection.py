@@ -1,0 +1,110 @@
+"""Gnomonic projection of the cube onto the unit sphere.
+
+SEAM obtains its spherical grid by the gnomonic (central) projection of
+the subdivided cube: every cube-surface point is pushed radially onto
+the unit sphere.  Two standard variants of the face parameterization
+are provided:
+
+* ``"equidistant"`` — local coordinates are linear on the cube face
+  (the plain central projection of a uniformly subdivided face);
+* ``"equiangular"`` — local coordinates are linear in the *angle*
+  subtended at the sphere center (``a = tan(alpha)``), which yields
+  more uniform element areas and is what modern spectral-element cores
+  (HOMME/E3SM) use.
+
+The choice only affects element geometry (areas, metric terms), never
+topology, so partitioning results are identical; the shallow-water
+substrate defaults to equiangular.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .topology import face_point
+
+__all__ = [
+    "PROJECTIONS",
+    "local_to_sphere",
+    "sphere_to_lonlat",
+    "element_center_local",
+    "face_local_grid",
+]
+
+PROJECTIONS = ("equidistant", "equiangular")
+
+
+def _warp(coord: np.ndarray, projection: str) -> np.ndarray:
+    """Map abstract local coordinates in [-1, 1] to cube-face coords."""
+    if projection == "equidistant":
+        return coord
+    if projection == "equiangular":
+        return np.tan(coord * (np.pi / 4.0))
+    raise ValueError(f"unknown projection {projection!r}; use one of {PROJECTIONS}")
+
+
+def local_to_sphere(
+    face: int, a, b, projection: str = "equiangular"
+) -> np.ndarray:
+    """Project local face coordinates onto the unit sphere.
+
+    Args:
+        face: Face index 0-5.
+        a: Abstract local x coordinate(s) in ``[-1, 1]``.
+        b: Abstract local y coordinate(s) in ``[-1, 1]``.
+        projection: ``"equidistant"`` or ``"equiangular"``.
+
+    Returns:
+        ``(..., 3)`` array of unit vectors.
+    """
+    a = _warp(np.asarray(a, dtype=np.float64), projection)
+    b = _warp(np.asarray(b, dtype=np.float64), projection)
+    p = face_point(face, a, b)
+    norm = np.linalg.norm(p, axis=-1, keepdims=True)
+    return p / norm
+
+
+def sphere_to_lonlat(xyz: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    """Convert unit vectors to longitude/latitude in radians.
+
+    Returns:
+        ``(lon, lat)`` with ``lon`` in ``(-pi, pi]`` and ``lat`` in
+        ``[-pi/2, pi/2]``.
+    """
+    xyz = np.asarray(xyz, dtype=np.float64)
+    lon = np.arctan2(xyz[..., 1], xyz[..., 0])
+    lat = np.arcsin(np.clip(xyz[..., 2], -1.0, 1.0))
+    return lon, lat
+
+
+def element_center_local(ne: int) -> tuple[np.ndarray, np.ndarray]:
+    """Abstract local coordinates of element centers on a face.
+
+    Returns:
+        Arrays ``(a, b)`` of shape ``(ne, ne)`` indexed ``[ix, iy]``.
+    """
+    c = (2.0 * (np.arange(ne) + 0.5) / ne) - 1.0
+    return np.meshgrid(c, c, indexing="ij")
+
+
+def face_local_grid(ne: int, points_per_edge: int) -> tuple[np.ndarray, np.ndarray]:
+    """Abstract local coordinates of a tensor grid inside each element.
+
+    Used by the spectral-element substrate to place GLL points: for
+    element ``(ix, iy)`` the returned slices
+    ``a[ix * p:(ix + 1) * p]`` span the element in local coordinates.
+
+    Args:
+        ne: Elements per face edge.
+        points_per_edge: Points per element edge (``p``).
+
+    Returns:
+        ``(a, b)`` 1-D arrays of length ``ne * points_per_edge`` of the
+        uniform sub-grid positions (element-wise uniform; GLL
+        placement happens in the element reference frame).
+    """
+    p = points_per_edge
+    offs = (np.arange(p) + 0.5) / p
+    cells = np.arange(ne)[:, None] + offs[None, :]
+    coord = (2.0 * cells.ravel() / ne) - 1.0
+    return coord, coord.copy()

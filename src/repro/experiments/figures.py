@@ -1,0 +1,162 @@
+"""Performance sweeps reproducing the paper's Figures 7-10.
+
+Figures 7/8 plot the speedup of SEAM execution time versus a single
+processor for K=384 (Hilbert) and K=486 (m-Peano); Figures 9/10 plot
+the corresponding total sustained Gflop/s for K=384 and K=1536.  Each
+sweep partitions the cubed-sphere with every requested method at every
+admissible processor count and pushes the result through the machine
+model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..cubesphere.mesh import cubed_sphere_mesh
+from ..graphs.csr import CSRGraph, mesh_graph
+from ..machine.perf import PerformanceModel, StepTiming
+from ..machine.spec import MachineSpec, P690_CLUSTER
+from ..metis.api import part_graph
+from ..partition.base import Partition
+from ..partition.block import block_partition, random_partition
+from ..partition.geometric import rcb_partition
+from ..partition.metrics import PartitionQuality, evaluate_partition
+from ..partition.sfc import sfc_partition
+from ..seam.cost import DEFAULT_COST_MODEL, SEAMCostModel
+from .resolutions import admissible_nprocs
+
+__all__ = [
+    "MethodResult",
+    "make_partition",
+    "run_method",
+    "speedup_sweep",
+    "best_metis",
+    "ALL_METHODS",
+    "METIS_BASELINES",
+]
+
+METIS_BASELINES = ("rb", "kway", "tv")
+ALL_METHODS = ("sfc", *METIS_BASELINES, "rcb", "block", "random")
+
+
+@lru_cache(maxsize=16)
+def _graph_for(ne: int, npts: int) -> CSRGraph:
+    mesh = cubed_sphere_mesh(ne)
+    return mesh_graph(mesh, edge_weight=npts, corner_weight=1)
+
+
+@dataclass(frozen=True)
+class MethodResult:
+    """One (method, nproc) point of a sweep.
+
+    Attributes:
+        method: Partitioner label.
+        nproc: Processor count.
+        quality: Partition metrics (Table-2 quantities).
+        timing: Machine-model timing.
+        speedup: Time(1 proc) / time(nproc).
+    """
+
+    method: str
+    nproc: int
+    quality: PartitionQuality
+    timing: StepTiming
+    speedup: float
+
+    @property
+    def gflops(self) -> float:
+        return self.timing.sustained_flops / 1.0e9
+
+    @property
+    def step_us(self) -> float:
+        return self.timing.step_s * 1.0e6
+
+
+def make_partition(
+    ne: int, nproc: int, method: str, seed: int = 0, schedule: str | None = None
+) -> Partition:
+    """Partition the cubed-sphere at ``ne`` with the named method."""
+    graph = _graph_for(ne, DEFAULT_COST_MODEL.npts)
+    if method == "sfc":
+        return sfc_partition(ne, nproc, schedule=schedule)
+    if method in METIS_BASELINES:
+        return part_graph(graph, nproc, method, seed=seed)
+    if method == "rcb":
+        return rcb_partition(cubed_sphere_mesh(ne).centers_xyz, nproc)
+    if method == "block":
+        return block_partition(graph.nvertices, nproc)
+    if method == "random":
+        return random_partition(graph.nvertices, nproc, seed=seed)
+    raise ValueError(f"unknown method {method!r}; choose from {ALL_METHODS}")
+
+
+def run_method(
+    ne: int,
+    nproc: int,
+    method: str,
+    machine: MachineSpec = P690_CLUSTER,
+    cost: SEAMCostModel = DEFAULT_COST_MODEL,
+    seed: int = 0,
+    schedule: str | None = None,
+) -> MethodResult:
+    """Partition, evaluate and time one method at one processor count."""
+    graph = _graph_for(ne, cost.npts)
+    partition = make_partition(ne, nproc, method, seed=seed, schedule=schedule)
+    quality = evaluate_partition(graph, partition)
+    model = PerformanceModel(machine, cost)
+    timing = model.step_timing(graph, partition)
+    speedup = model.serial_step_time(graph.nvertices) / timing.step_s
+    return MethodResult(
+        method=method, nproc=nproc, quality=quality, timing=timing, speedup=speedup
+    )
+
+
+def speedup_sweep(
+    ne: int,
+    methods: tuple[str, ...] = ("sfc", *METIS_BASELINES),
+    nprocs: list[int] | None = None,
+    machine: MachineSpec = P690_CLUSTER,
+    cost: SEAMCostModel = DEFAULT_COST_MODEL,
+    seed: int = 0,
+) -> dict[str, list[MethodResult]]:
+    """Full sweep over processor counts for several methods.
+
+    Args:
+        ne: Resolution (elements per face edge).
+        methods: Partitioners to compare.
+        nprocs: Processor counts; defaults to the divisors of
+            ``K = 6 ne^2`` up to the machine's job limit.
+        machine: Machine model.
+        cost: Cost model.
+        seed: Partitioner seed.
+
+    Returns:
+        ``{method: [MethodResult per nproc]}``.
+    """
+    k = 6 * ne * ne
+    if nprocs is None:
+        nprocs = admissible_nprocs(k, machine.max_procs)
+    return {
+        method: [
+            run_method(ne, nproc, method, machine=machine, cost=cost, seed=seed)
+            for nproc in nprocs
+        ]
+        for method in methods
+    }
+
+
+def best_metis(results: dict[str, list[MethodResult]], index: int) -> MethodResult:
+    """The best METIS result (highest speedup) at one sweep index.
+
+    Mirrors the paper's figures, which plot "SFC vs *best* METIS
+    partitioning".
+    """
+    candidates = [
+        results[m][index] for m in METIS_BASELINES if m in results
+    ]
+    if not candidates:
+        raise ValueError("no METIS methods present in the sweep")
+    return max(candidates, key=lambda r: r.speedup)

@@ -1,0 +1,90 @@
+"""The paper's future work: scaling beyond 768 processors.
+
+"Experimental results on systems with greater than 768 processors
+should be obtained in order to investigate the scaling properties of
+the SFC approach."  The P690's job limit blocked Dennis; the simulator
+has no such limit.  This study scales the machine (same node
+architecture, more nodes) and runs the largest climate resolutions the
+paper names — up to K=3456 (Ne=24, the top of its "typical climate
+resolutions" range) — at O(1) elements per processor.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..machine.spec import P690_CLUSTER, MachineSpec
+from .figures import best_metis, speedup_sweep
+from .resolutions import admissible_nprocs
+
+__all__ = ["FutureScalingPoint", "scaled_p690", "future_scaling_study"]
+
+
+def scaled_p690(max_procs: int) -> MachineSpec:
+    """A P690-like cluster with enough nodes for ``max_procs`` ranks."""
+    return replace(
+        P690_CLUSTER,
+        max_procs=max_procs,
+        name=f"hypothetical P690-class cluster, {max_procs} procs",
+    )
+
+
+@dataclass(frozen=True)
+class FutureScalingPoint:
+    """SFC vs best METIS at one (K, Nproc) beyond the original limit."""
+
+    ne: int
+    k: int
+    nproc: int
+    elems_per_proc: int
+    sfc_speedup: float
+    sfc_gflops: float
+    best_metis_speedup: float
+
+    @property
+    def advantage(self) -> float:
+        return self.sfc_speedup / self.best_metis_speedup - 1.0
+
+    @property
+    def parallel_efficiency(self) -> float:
+        return self.sfc_speedup / self.nproc
+
+
+def future_scaling_study(
+    ne: int = 24,
+    max_procs: int = 3456,
+    min_elems_per_proc: int = 1,
+) -> list[FutureScalingPoint]:
+    """Sweep K=6*ne^2 beyond 768 processors on a scaled machine.
+
+    Args:
+        ne: Resolution (default 24: K=3456, the paper's largest named
+            climate resolution).
+        max_procs: Hypothetical machine size.
+        min_elems_per_proc: Stop when each processor holds fewer
+            elements than this.
+    """
+    k = 6 * ne * ne
+    machine = scaled_p690(max_procs)
+    nprocs = [
+        n
+        for n in admissible_nprocs(k, max_procs)
+        if n > 128 and k // n >= min_elems_per_proc
+    ]
+    results = speedup_sweep(ne, nprocs=nprocs, machine=machine)
+    points = []
+    for i, n in enumerate(nprocs):
+        sfc = results["sfc"][i]
+        metis = best_metis(results, i)
+        points.append(
+            FutureScalingPoint(
+                ne=ne,
+                k=k,
+                nproc=n,
+                elems_per_proc=k // n,
+                sfc_speedup=sfc.speedup,
+                sfc_gflops=sfc.gflops,
+                best_metis_speedup=metis.speedup,
+            )
+        )
+    return points

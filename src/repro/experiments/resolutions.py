@@ -1,0 +1,94 @@
+"""Table 1: the SEAM test resolutions of the paper.
+
+Four cubed-sphere resolutions exercise each curve family:
+
+====  ===  =============  ========================
+K     Ne   curve          levels (Hilbert, m-Peano)
+====  ===  =============  ========================
+384   8    Hilbert        (3, 0)
+486   9    m-Peano        (0, 2)
+1536  16   Hilbert        (4, 0)
+1944  18   Hilbert-Peano  (1, 2)
+====  ===  =============  ========================
+
+Processor counts are chosen "so that an equal number of spectral
+elements are allocated to each processor" — i.e. the divisors of ``K``
+— capped by the machine's 768-processor job limit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sfc.factorization import default_schedule, factorize_2_3
+
+__all__ = ["Resolution", "PAPER_RESOLUTIONS", "resolution_by_k", "admissible_nprocs"]
+
+
+@dataclass(frozen=True)
+class Resolution:
+    """One SEAM test resolution (a row of the paper's Table 1).
+
+    Attributes:
+        ne: Elements per cube-face edge.
+        max_procs: Machine job limit applied to the processor range.
+    """
+
+    ne: int
+    max_procs: int = 768
+
+    @property
+    def k(self) -> int:
+        """Total spectral elements ``K = 6 * Ne^2``."""
+        return 6 * self.ne * self.ne
+
+    @property
+    def hilbert_level(self) -> int:
+        """Hilbert recursion level ``n`` with ``Ne = 2^n * 3^m``."""
+        return factorize_2_3(self.ne)[0]
+
+    @property
+    def peano_level(self) -> int:
+        """m-Peano recursion level ``m``."""
+        return factorize_2_3(self.ne)[1]
+
+    @property
+    def curve_family(self) -> str:
+        """Which curve family partitions this resolution."""
+        n, m = factorize_2_3(self.ne)
+        if m == 0:
+            return "hilbert"
+        if n == 0:
+            return "m-peano"
+        return "hilbert-peano"
+
+    @property
+    def schedule(self) -> str:
+        """Default face-local refinement schedule."""
+        return default_schedule(self.ne)
+
+    def nprocs(self) -> list[int]:
+        """Admissible processor counts: divisors of ``K`` up to the cap."""
+        return admissible_nprocs(self.k, self.max_procs)
+
+
+def admissible_nprocs(k: int, max_procs: int = 768) -> list[int]:
+    """Divisors of ``k`` not exceeding ``max_procs``, ascending."""
+    return [d for d in range(1, min(k, max_procs) + 1) if k % d == 0]
+
+
+#: The paper's four test resolutions, in Table-1 order.
+PAPER_RESOLUTIONS: tuple[Resolution, ...] = (
+    Resolution(ne=8),
+    Resolution(ne=9),
+    Resolution(ne=16),
+    Resolution(ne=18),
+)
+
+
+def resolution_by_k(k: int) -> Resolution:
+    """Look up a paper resolution by its element count ``K``."""
+    for res in PAPER_RESOLUTIONS:
+        if res.k == k:
+            return res
+    raise KeyError(f"K={k} is not one of the paper's resolutions")

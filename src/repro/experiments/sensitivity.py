@@ -1,0 +1,78 @@
+"""Sensitivity of the headline numbers to the network constants.
+
+The reproduction's machine model documents its intra/inter-node
+latency and bandwidth as era-plausible values rather than measured
+ones, so the honest question is: *which conclusions depend on them?*
+This study sweeps the inter-node parameters over an order of magnitude
+around the defaults and records the SFC-vs-best-METIS advantage at a
+chosen operating point.  The paper's qualitative claims should survive
+the whole sweep; the exact percentage should not (that is the
+documented caveat in EXPERIMENTS.md).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..machine.spec import P690_CLUSTER, MachineSpec, NetworkParams
+from .figures import best_metis, speedup_sweep
+
+__all__ = ["SensitivityPoint", "network_sensitivity"]
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """SFC advantage under one network parameterization."""
+
+    latency_scale: float
+    bandwidth_scale: float
+    sfc_speedup: float
+    best_metis_speedup: float
+
+    @property
+    def advantage(self) -> float:
+        return self.sfc_speedup / self.best_metis_speedup - 1.0
+
+
+def _scaled_machine(lat_scale: float, bw_scale: float) -> MachineSpec:
+    base = P690_CLUSTER
+    inter = NetworkParams(
+        latency_s=base.inter_node.latency_s * lat_scale,
+        bandwidth_Bps=base.inter_node.bandwidth_Bps * bw_scale,
+    )
+    return replace(base, inter_node=inter, name=f"{base.name} (scaled)")
+
+
+def network_sensitivity(
+    ne: int = 8,
+    nproc: int = 384,
+    latency_scales: tuple[float, ...] = (0.3, 1.0, 3.0),
+    bandwidth_scales: tuple[float, ...] = (0.3, 1.0, 3.0),
+) -> list[SensitivityPoint]:
+    """Sweep inter-node latency/bandwidth scales at one operating point.
+
+    Args:
+        ne: Resolution.
+        nproc: Processor count (default: the paper's K=384 headline).
+        latency_scales: Multipliers on the Colony latency.
+        bandwidth_scales: Multipliers on the Colony bandwidth.
+
+    Returns:
+        One point per (latency, bandwidth) combination.
+    """
+    points = []
+    for ls in latency_scales:
+        for bs in bandwidth_scales:
+            machine = _scaled_machine(ls, bs)
+            results = speedup_sweep(ne, nprocs=[nproc], machine=machine)
+            sfc = results["sfc"][0]
+            metis = best_metis(results, 0)
+            points.append(
+                SensitivityPoint(
+                    latency_scale=ls,
+                    bandwidth_scale=bs,
+                    sfc_speedup=sfc.speedup,
+                    best_metis_speedup=metis.speedup,
+                )
+            )
+    return points

@@ -1,0 +1,95 @@
+"""Synthetic graph generators for partitioner testing.
+
+The cubed-sphere is one (nearly regular) graph; a credible partitioner
+must behave on other topologies too.  These generators back the test
+suite and the partitioner-robustness bench:
+
+* :func:`grid_2d` — planar grid (the classic partitioning benchmark);
+* :func:`torus_2d` — periodic grid, no boundary to hide cuts at;
+* :func:`random_geometric` — unit-square proximity graph, irregular
+  degrees (the unstructured-mesh stand-in);
+* :func:`caterpillar` — a path with leaves, adversarial for balance
+  because leaves concentrate weight at the spine.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph, graph_from_edges
+
+__all__ = ["grid_2d", "torus_2d", "random_geometric", "caterpillar"]
+
+
+def grid_2d(nx: int, ny: int) -> CSRGraph:
+    """4-connected ``nx x ny`` grid with unit weights."""
+    if nx < 1 or ny < 1:
+        raise ValueError("grid dimensions must be positive")
+    edges = []
+    for x in range(nx):
+        for y in range(ny):
+            v = x * ny + y
+            if x + 1 < nx:
+                edges.append((v, (x + 1) * ny + y))
+            if y + 1 < ny:
+                edges.append((v, v + 1))
+    return graph_from_edges(nx * ny, np.array(edges, dtype=np.int64).reshape(-1, 2))
+
+
+def torus_2d(nx: int, ny: int) -> CSRGraph:
+    """4-connected periodic grid (every vertex has degree 4)."""
+    if nx < 3 or ny < 3:
+        raise ValueError("torus dimensions must be >= 3 (else multi-edges)")
+    edges = []
+    for x in range(nx):
+        for y in range(ny):
+            v = x * ny + y
+            edges.append((v, ((x + 1) % nx) * ny + y))
+            edges.append((v, x * ny + (y + 1) % ny))
+    return graph_from_edges(nx * ny, np.array(edges, dtype=np.int64))
+
+
+def random_geometric(
+    n: int, radius: float, seed: int = 0, ensure_connected: bool = True
+) -> CSRGraph:
+    """Proximity graph of ``n`` uniform points in the unit square.
+
+    Args:
+        n: Vertex count.
+        radius: Connection radius.
+        seed: RNG seed.
+        ensure_connected: Chain consecutive points (by x order) that
+            ended up isolated so partitioners get a connected input.
+    """
+    rng = np.random.default_rng(seed)
+    pts = rng.uniform(size=(n, 2))
+    d2 = ((pts[:, None, :] - pts[None, :, :]) ** 2).sum(axis=2)
+    iu, ju = np.triu_indices(n, k=1)
+    mask = d2[iu, ju] <= radius * radius
+    edges = set(zip(iu[mask].tolist(), ju[mask].tolist()))
+    if ensure_connected:
+        order = np.argsort(pts[:, 0], kind="stable")
+        for a, b in zip(order, order[1:]):
+            key = (min(int(a), int(b)), max(int(a), int(b)))
+            edges.add(key)
+    arr = np.array(sorted(edges), dtype=np.int64)
+    return graph_from_edges(n, arr)
+
+
+def caterpillar(spine: int, legs: int) -> CSRGraph:
+    """A spine path with ``legs`` leaf vertices hanging off each node.
+
+    Leaves make balanced low-cut partitions hard: cutting near a spine
+    vertex strands all its leaves.
+    """
+    if spine < 2 or legs < 0:
+        raise ValueError("need spine >= 2 and legs >= 0")
+    edges = []
+    n = spine * (1 + legs)
+    for s in range(spine):
+        v = s * (1 + legs)
+        if s + 1 < spine:
+            edges.append((v, (s + 1) * (1 + legs)))
+        for leg in range(legs):
+            edges.append((v, v + 1 + leg))
+    return graph_from_edges(n, np.array(edges, dtype=np.int64))

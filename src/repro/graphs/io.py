@@ -1,0 +1,86 @@
+"""METIS-format graph I/O.
+
+Reads and writes the textual graph format of the METIS distribution so
+partitioning inputs can be exchanged with external tools (or inspected
+by hand).  Format reference: Karypis & Kumar, METIS 4 manual, Sec. 4.5:
+
+* line 1: ``<n> <m> [fmt [ncon]]`` where ``fmt`` is a 3-digit flag
+  string — ``1xx`` vertex sizes (unsupported here), ``x1x`` vertex
+  weights, ``xx1`` edge weights;
+* line ``1 + v``: optional vertex weight, then pairs
+  ``<neighbor> [weight]`` with **1-based** neighbor ids;
+* ``%`` starts a comment line.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import numpy as np
+
+from .csr import CSRGraph, graph_from_edges
+
+__all__ = ["write_metis_graph", "read_metis_graph"]
+
+
+def write_metis_graph(graph: CSRGraph, path: str | Path) -> None:
+    """Write a graph in METIS format (always with both weight kinds)."""
+    path = Path(path)
+    lines = [f"{graph.nvertices} {graph.nedges} 011"]
+    for v in range(graph.nvertices):
+        parts = [str(int(graph.vweights[v]))]
+        for u, w in zip(graph.neighbors(v), graph.neighbor_weights(v)):
+            parts.append(str(int(u) + 1))
+            parts.append(str(int(w)))
+        lines.append(" ".join(parts))
+    path.write_text("\n".join(lines) + "\n")
+
+
+def read_metis_graph(path: str | Path) -> CSRGraph:
+    """Read a METIS-format graph (fmt codes 000, 001, 010, 011)."""
+    path = Path(path)
+    rows = [
+        line.strip()
+        for line in path.read_text().splitlines()
+        if line.strip() and not line.lstrip().startswith("%")
+    ]
+    if not rows:
+        raise ValueError(f"{path}: empty graph file")
+    header = rows[0].split()
+    n, m = int(header[0]), int(header[1])
+    fmt = header[2] if len(header) > 2 else "000"
+    fmt = fmt.zfill(3)
+    if fmt[0] == "1":
+        raise ValueError("vertex sizes (fmt=1xx) are not supported")
+    has_vw = fmt[1] == "1"
+    has_ew = fmt[2] == "1"
+    if len(rows) - 1 != n:
+        raise ValueError(f"{path}: expected {n} vertex lines, got {len(rows) - 1}")
+    vweights = np.ones(n, dtype=np.int64)
+    edges: dict[tuple[int, int], int] = {}
+    for v in range(n):
+        toks = [int(t) for t in rows[1 + v].split()]
+        pos = 0
+        if has_vw:
+            vweights[v] = toks[0]
+            pos = 1
+        step = 2 if has_ew else 1
+        while pos < len(toks):
+            u = toks[pos] - 1
+            w = toks[pos + 1] if has_ew else 1
+            pos += step
+            key = (min(v, u), max(v, u))
+            if key in edges:
+                if edges[key] != w:
+                    raise ValueError(f"{path}: asymmetric weight on edge {key}")
+            else:
+                edges[key] = w
+    if len(edges) != m:
+        raise ValueError(f"{path}: header says {m} edges, found {len(edges)}")
+    if edges:
+        earr = np.array(sorted(edges), dtype=np.int64)
+        ew = np.array([edges[tuple(e)] for e in earr], dtype=np.int64)
+    else:
+        earr = np.empty((0, 2), dtype=np.int64)
+        ew = np.empty(0, dtype=np.int64)
+    return graph_from_edges(n, earr, ew, vweights)

@@ -1,0 +1,108 @@
+"""Graph traversal utilities: BFS, connected components, peripheries.
+
+These back the METIS-style partitioner (greedy graph growing seeds
+initial bisections from pseudo-peripheral vertices) and validation
+(partition parts should usually be connected for good quality, and the
+mesh graph itself must be connected).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .csr import CSRGraph
+
+__all__ = [
+    "bfs_levels",
+    "connected_components",
+    "is_connected",
+    "pseudo_peripheral_vertex",
+]
+
+
+def bfs_levels(graph: CSRGraph, source: int, mask: np.ndarray | None = None) -> np.ndarray:
+    """Breadth-first level of every vertex from ``source``.
+
+    Args:
+        graph: The graph.
+        source: Start vertex.
+        mask: Optional boolean array restricting traversal to a vertex
+            subset (vertices outside keep level ``-1``).
+
+    Returns:
+        ``(n,)`` int array of BFS levels; ``-1`` for unreachable
+        vertices.
+    """
+    n = graph.nvertices
+    level = -np.ones(n, dtype=np.int64)
+    if mask is not None and not mask[source]:
+        return level
+    level[source] = 0
+    frontier = np.array([source], dtype=np.int64)
+    depth = 0
+    while len(frontier):
+        depth += 1
+        nxt = []
+        for v in frontier:
+            for u in graph.neighbors(int(v)):
+                if level[u] < 0 and (mask is None or mask[u]):
+                    level[u] = depth
+                    nxt.append(u)
+        frontier = np.array(nxt, dtype=np.int64)
+    return level
+
+
+def connected_components(graph: CSRGraph) -> np.ndarray:
+    """Component label of every vertex (labels are 0-based, dense)."""
+    n = graph.nvertices
+    comp = -np.ones(n, dtype=np.int64)
+    label = 0
+    for start in range(n):
+        if comp[start] >= 0:
+            continue
+        comp[start] = label
+        stack = [start]
+        while stack:
+            v = stack.pop()
+            for u in graph.neighbors(v):
+                if comp[u] < 0:
+                    comp[u] = label
+                    stack.append(int(u))
+        label += 1
+    return comp
+
+
+def is_connected(graph: CSRGraph) -> bool:
+    """Whether the graph is connected (empty graphs count as connected)."""
+    if graph.nvertices == 0:
+        return True
+    return bool((connected_components(graph) == 0).all())
+
+
+def pseudo_peripheral_vertex(
+    graph: CSRGraph, mask: np.ndarray | None = None, start: int | None = None
+) -> int:
+    """A vertex of near-maximal eccentricity (George-Liu heuristic).
+
+    Repeatedly BFS from the current candidate and jump to a farthest
+    vertex until the eccentricity stops growing.  Used to seed greedy
+    graph growing so the grown region sweeps across the graph instead
+    of curling around an interior seed.
+    """
+    if start is None:
+        if mask is None:
+            start = 0
+        else:
+            nz = np.flatnonzero(mask)
+            if len(nz) == 0:
+                raise ValueError("mask selects no vertices")
+            start = int(nz[0])
+    current = start
+    ecc = -1
+    while True:
+        level = bfs_levels(graph, current, mask)
+        far = int(level.max())
+        if far <= ecc:
+            return current
+        ecc = far
+        current = int(np.flatnonzero(level == far)[0])

@@ -1,0 +1,27 @@
+"""Machine model: the paper's IBM P690 cluster and the perf simulator."""
+
+from .mapping import (
+    apply_mapping,
+    greedy_comm_mapping,
+    identity_mapping,
+    random_mapping,
+)
+from .perf import PerformanceModel, StepTiming
+from .trace import RankSegment, StepTrace, trace_step
+from .spec import FLAT_NETWORK_MACHINE, P690_CLUSTER, MachineSpec, NetworkParams
+
+__all__ = [
+    "FLAT_NETWORK_MACHINE",
+    "MachineSpec",
+    "NetworkParams",
+    "P690_CLUSTER",
+    "PerformanceModel",
+    "apply_mapping",
+    "greedy_comm_mapping",
+    "identity_mapping",
+    "random_mapping",
+    "RankSegment",
+    "StepTiming",
+    "StepTrace",
+    "trace_step",
+]

@@ -1,0 +1,138 @@
+"""Discrete performance model: partition + cost model -> time per step.
+
+The quantity the paper plots is the sustained floating-point execution
+rate of SEAM under different partitions.  Per timestep, each processor
+
+1. computes the RHS for its local elements (flops / sustained rate) —
+   load imbalance shows up here as the *maximum* over processors;
+2. exchanges boundary-point partial sums with every neighboring
+   processor, once per RK stage, over the network tier (intra- or
+   inter-node) connecting the two ranks.
+
+The step time is the maximum over processors of compute + communication
+(bulk-synchronous, no overlap — SEAM's halo exchange was blocking in
+this era), and speedup / Gflops follow from it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..partition.base import Partition
+from ..partition.metrics import CommunicationPattern, communication_pattern
+from ..seam.cost import DEFAULT_COST_MODEL, SEAMCostModel
+from .spec import MachineSpec, P690_CLUSTER
+
+__all__ = ["StepTiming", "PerformanceModel"]
+
+
+@dataclass(frozen=True)
+class StepTiming:
+    """Per-timestep timing of one partitioned run.
+
+    Attributes:
+        nprocs: Processor count (``partition.nparts``).
+        compute_s: ``(nprocs,)`` per-processor compute seconds.
+        comm_s: ``(nprocs,)`` per-processor communication seconds.
+        step_s: Wall-clock seconds per step (max over processors).
+        total_flops: Useful flops per step over all processors.
+    """
+
+    nprocs: int
+    compute_s: np.ndarray
+    comm_s: np.ndarray
+    step_s: float
+    total_flops: float
+
+    @property
+    def sustained_flops(self) -> float:
+        """Aggregate sustained flop rate (the paper's Figs. 9-10)."""
+        return self.total_flops / self.step_s
+
+    @property
+    def compute_fraction(self) -> float:
+        """Fraction of the critical path spent computing."""
+        worst = int(np.argmax(self.compute_s + self.comm_s))
+        return float(self.compute_s[worst] / self.step_s)
+
+
+class PerformanceModel:
+    """Simulates SEAM time-per-step for a partition on a machine.
+
+    Args:
+        machine: Cluster description (default: the paper's P690).
+        cost: Per-element flop/byte model (default: SEAM defaults).
+    """
+
+    def __init__(
+        self,
+        machine: MachineSpec = P690_CLUSTER,
+        cost: SEAMCostModel = DEFAULT_COST_MODEL,
+    ):
+        self.machine = machine
+        self.cost = cost
+
+    def step_timing(
+        self,
+        graph: CSRGraph,
+        partition: Partition,
+        comm: CommunicationPattern | None = None,
+    ) -> StepTiming:
+        """Time one SEAM timestep under a partition.
+
+        Args:
+            graph: Element-connectivity graph whose edge weights are
+                shared boundary points (:func:`repro.graphs.mesh_graph`).
+            partition: Assignment of elements to processors.
+            comm: Pre-computed communication pattern (recomputed
+                otherwise).
+
+        Returns:
+            The :class:`StepTiming`.
+        """
+        if comm is None:
+            comm = communication_pattern(graph, partition)
+        nprocs = partition.nparts
+        machine = self.machine
+        cost = self.cost
+        if nprocs > machine.max_procs:
+            raise ValueError(
+                f"{nprocs} processors exceed the machine's "
+                f"{machine.max_procs}-processor job limit"
+            )
+        nelemd = partition.part_sizes().astype(np.float64)
+        compute = (
+            nelemd * cost.flops_per_step_per_element() / machine.sustained_flops
+        )
+        bpp = cost.bytes_per_point()
+        exchanges = cost.exchanges_per_step()
+        comm_s = np.zeros(nprocs)
+        for (src, dst), points in comm.pair_points.items():
+            link = machine.link(src, dst)
+            comm_s[src] += exchanges * link.message_time(points * bpp)
+        step_s = float((compute + comm_s).max())
+        total_flops = cost.step_flops(int(nelemd.sum()))
+        return StepTiming(
+            nprocs=nprocs,
+            compute_s=compute,
+            comm_s=comm_s,
+            step_s=step_s,
+            total_flops=total_flops,
+        )
+
+    def serial_step_time(self, nelem: int) -> float:
+        """Single-processor step time (no communication)."""
+        return self.cost.step_flops(nelem) / self.machine.sustained_flops
+
+    def speedup(
+        self,
+        graph: CSRGraph,
+        partition: Partition,
+        comm: CommunicationPattern | None = None,
+    ) -> float:
+        """Speedup of a partitioned run over one processor."""
+        timing = self.step_timing(graph, partition, comm)
+        return self.serial_step_time(graph.nvertices) / timing.step_s

@@ -1,0 +1,100 @@
+"""Machine description: the NCAR IBM P690 cluster of the paper.
+
+Paper Sec. 4: "The system contains a total of [...] 1.3 GHz Power-4
+processors connected by a dual plane Colony network.  The system
+contains 92 8-way SMP nodes and nine 32-way SMP nodes.  The system is
+configured so that a maximum of 768 processors is available to a
+single parallel application."  The single-processor SEAM rate was
+measured at 841 Mflop/s, 16% of the Power-4's 5.2 Gflop/s peak.
+
+Network constants are documented era-plausible values for shared-memory
+transfers inside a Power-4 SMP and MPI over the Colony (SP Switch2)
+interconnect; the reproduction validates curve *shapes*, which are
+driven by the intra/inter-node asymmetry rather than the absolute
+constants (there is an ablation bench that sweeps them).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["NetworkParams", "MachineSpec", "P690_CLUSTER", "FLAT_NETWORK_MACHINE"]
+
+
+@dataclass(frozen=True)
+class NetworkParams:
+    """Latency/bandwidth (alpha-beta) parameters of one network tier.
+
+    Attributes:
+        latency_s: Per-message startup cost in seconds.
+        bandwidth_Bps: Sustained point-to-point bandwidth, bytes/s.
+    """
+
+    latency_s: float
+    bandwidth_Bps: float
+
+    def message_time(self, nbytes: float) -> float:
+        """Time to move one message of ``nbytes``."""
+        return self.latency_s + nbytes / self.bandwidth_Bps
+
+
+@dataclass(frozen=True)
+class MachineSpec:
+    """A cluster of SMP nodes with a two-tier network.
+
+    Attributes:
+        name: Human-readable label.
+        procs_per_node: Processors sharing one SMP node.
+        max_procs: Largest single-job processor count.
+        peak_flops: Per-processor peak, flop/s.
+        sustained_flops: Measured per-processor application rate.
+        intra_node: Network parameters between ranks on one node.
+        inter_node: Network parameters between ranks on different nodes.
+    """
+
+    name: str
+    procs_per_node: int
+    max_procs: int
+    peak_flops: float
+    sustained_flops: float
+    intra_node: NetworkParams
+    inter_node: NetworkParams
+
+    def node_of(self, rank: int) -> int:
+        """SMP node hosting a rank (block mapping, MPI default)."""
+        return rank // self.procs_per_node
+
+    def link(self, rank_a: int, rank_b: int) -> NetworkParams:
+        """Network tier connecting two ranks."""
+        if self.node_of(rank_a) == self.node_of(rank_b):
+            return self.intra_node
+        return self.inter_node
+
+    def sustained_fraction(self) -> float:
+        """Sustained / peak (the paper quotes 16% for SEAM)."""
+        return self.sustained_flops / self.peak_flops
+
+
+#: The paper's evaluation platform.
+P690_CLUSTER = MachineSpec(
+    name="NCAR IBM P690 cluster (1.3 GHz Power-4, Colony switch)",
+    procs_per_node=8,
+    max_procs=768,
+    peak_flops=5.2e9,
+    sustained_flops=841.0e6,
+    intra_node=NetworkParams(latency_s=3.0e-6, bandwidth_Bps=2.0e9),
+    inter_node=NetworkParams(latency_s=18.0e-6, bandwidth_Bps=350.0e6),
+)
+
+#: Counterfactual machine with a single flat network tier — used by the
+#: ablation bench to isolate how much of the SFC advantage comes from
+#: rank locality on the SMP nodes.
+FLAT_NETWORK_MACHINE = MachineSpec(
+    name="flat-network counterfactual",
+    procs_per_node=1,
+    max_procs=P690_CLUSTER.max_procs,
+    peak_flops=P690_CLUSTER.peak_flops,
+    sustained_flops=P690_CLUSTER.sustained_flops,
+    intra_node=P690_CLUSTER.inter_node,
+    inter_node=P690_CLUSTER.inter_node,
+)

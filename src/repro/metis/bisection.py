@@ -1,0 +1,135 @@
+"""Multilevel bisection and the recursive-bisection (RB) partitioner.
+
+RB is METIS's ``pmetis`` algorithm: recursively split the graph in two,
+each split solved by the full multilevel machinery (coarsen with HEM,
+bisect the coarsest graph with greedy graph growing, uncoarsen with FM
+refinement at every level).  The paper: "the recursive bisection (RB)
+algorithm is best for load balancing, but results in larger edgecuts
+and total communication volume" — the tight per-split balance is what
+produces that behaviour, and it is enforced here with a per-bisection
+imbalance cap that defaults to (essentially) exact.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+from ..partition.base import Partition
+from .coarsen import coarsen_to
+from .initial import greedy_graph_growing, spectral_initial_bisection
+from .refine import fm_refine_bisection
+
+__all__ = ["multilevel_bisection", "recursive_bisection"]
+
+#: Coarsening stops once the graph is this small; GGGP handles the rest.
+COARSEST_NVERTICES = 64
+
+
+def multilevel_bisection(
+    graph: CSRGraph,
+    target_left: int,
+    ubfactor: float = 1.001,
+    seed: int = 0,
+    initial: str = "ggg",
+) -> np.ndarray:
+    """Bisect a graph with the full multilevel pipeline.
+
+    Args:
+        graph: Graph to split.
+        target_left: Desired total vertex weight of side 0.
+        ubfactor: Per-side imbalance cap (default: essentially exact,
+            METIS RB behaviour).
+        seed: Determinism seed.
+        initial: Coarsest-level method, ``"ggg"`` or ``"spectral"``.
+
+    Returns:
+        ``(n,)`` int array of sides (0/1).
+    """
+    total = graph.total_vweight()
+    target_right = total - target_left
+    if not 0 < target_left < total:
+        raise ValueError("target_left must be strictly between 0 and total weight")
+    levels = coarsen_to(graph, COARSEST_NVERTICES, seed=seed)
+    coarsest = levels[-1].graph if levels else graph
+    if initial == "spectral" and coarsest.nvertices >= 4:
+        side = spectral_initial_bisection(coarsest, target_left, seed=seed)
+    else:
+        side = greedy_graph_growing(coarsest, target_left, seed=seed)
+    max_left = max(int(np.floor(ubfactor * target_left + 1e-9)), target_left)
+    max_right = max(int(np.floor(ubfactor * target_right + 1e-9)), target_right)
+    # Feasibility: the two caps must jointly cover the total weight.
+    max_left = min(max_left, total)
+    max_right = min(max_right, total)
+    if max_left + max_right < total:  # pragma: no cover - defensive
+        max_left = total - target_right
+        max_right = total - target_left
+    side = fm_refine_bisection(coarsest, side, max_left, max_right)
+    # Project back through the hierarchy, refining at every level.
+    # levels[i] was contracted from fine_graphs[i].
+    fine_graphs = [graph] + [lv.graph for lv in levels[:-1]]
+    for level, fine in zip(reversed(levels), reversed(fine_graphs)):
+        side = side[level.fine_to_coarse]
+        side = fm_refine_bisection(fine, side, max_left, max_right)
+    return side
+
+
+def recursive_bisection(
+    graph: CSRGraph,
+    nparts: int,
+    ubfactor: float = 1.001,
+    seed: int = 0,
+    initial: str = "ggg",
+) -> Partition:
+    """METIS-style recursive bisection into ``nparts`` parts.
+
+    Part counts need not be powers of two: each split divides the
+    target weight proportionally to the part counts of the two halves
+    (``pmetis`` semantics).
+
+    Returns:
+        A :class:`Partition` labeled ``"rb"``.
+    """
+    n = graph.nvertices
+    if not 1 <= nparts <= n:
+        raise ValueError("need 1 <= nparts <= nvertices")
+    assignment = np.zeros(n, dtype=np.int64)
+    # Queue of (vertex ids, first part, part count, depth).
+    stack: list[tuple[np.ndarray, int, int, int]] = [
+        (np.arange(n, dtype=np.int64), 0, nparts, 0)
+    ]
+    while stack:
+        ids, first, parts, depth = stack.pop()
+        if parts == 1:
+            assignment[ids] = first
+            continue
+        sub, mapping = graph.subgraph(ids)
+        left_parts = parts // 2
+        right_parts = parts - left_parts
+        total = sub.total_vweight()
+        target_left = int(round(total * left_parts / parts))
+        side = multilevel_bisection(
+            sub,
+            target_left,
+            ubfactor=ubfactor,
+            seed=seed + depth * 7919 + first,
+            initial=initial,
+        )
+        left_ids = mapping[side == 0]
+        right_ids = mapping[side == 1]
+        if len(left_ids) < left_parts or len(right_ids) < right_parts:
+            # A side received fewer vertices than the parts it must
+            # host (possible when the imbalance slack exceeds the
+            # region size).  pmetis never returns empty parts, so fall
+            # back to an exact order-based split.
+            half = max(
+                left_parts,
+                min(
+                    len(ids) - right_parts,
+                    int(round(len(ids) * left_parts / parts)),
+                ),
+            )
+            left_ids, right_ids = ids[:half], ids[half:]
+        stack.append((left_ids, first, left_parts, depth + 1))
+        stack.append((right_ids, first + left_parts, right_parts, depth + 1))
+    return Partition(assignment, nparts=nparts, method="rb")

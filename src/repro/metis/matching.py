@@ -1,0 +1,78 @@
+"""Coarsening matchings: random matching and heavy-edge matching.
+
+First stage of the multilevel scheme (Karypis & Kumar): find a maximal
+matching and contract matched pairs.  Heavy-edge matching (HEM) picks,
+for each unmatched vertex, the unmatched neighbor connected by the
+heaviest edge, which hides as much edge weight as possible inside
+coarse vertices and is the workhorse of METIS.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..graphs.csr import CSRGraph
+
+__all__ = ["random_matching", "heavy_edge_matching"]
+
+
+def _visit_order(graph: CSRGraph, rng: np.random.Generator, sort_by_degree: bool) -> np.ndarray:
+    order = rng.permutation(graph.nvertices)
+    if sort_by_degree:
+        # Visit low-degree vertices first (METIS's SHEM tweak): they
+        # have the fewest matching options, so serve them early.
+        deg = graph.degrees()
+        order = order[np.argsort(deg[order], kind="stable")]
+    return order
+
+
+def random_matching(graph: CSRGraph, seed: int = 0) -> np.ndarray:
+    """Maximal matching by random vertex visitation.
+
+    Returns:
+        ``(n,)`` int array ``match`` with ``match[v]`` the partner of
+        ``v`` (``match[v] == v`` for unmatched vertices).
+    """
+    rng = np.random.default_rng(seed)
+    n = graph.nvertices
+    match = np.arange(n, dtype=np.int64)
+    matched = np.zeros(n, dtype=bool)
+    for v in _visit_order(graph, rng, sort_by_degree=False):
+        v = int(v)
+        if matched[v]:
+            continue
+        nbrs = graph.neighbors(v)
+        free = nbrs[~matched[nbrs]]
+        if len(free):
+            u = int(free[rng.integers(len(free))])
+            match[v] = u
+            match[u] = v
+            matched[v] = matched[u] = True
+    return match
+
+
+def heavy_edge_matching(graph: CSRGraph, seed: int = 0) -> np.ndarray:
+    """Maximal matching preferring heavy edges (HEM/SHEM).
+
+    Returns:
+        ``(n,)`` int array as in :func:`random_matching`.
+    """
+    rng = np.random.default_rng(seed)
+    n = graph.nvertices
+    match = np.arange(n, dtype=np.int64)
+    matched = np.zeros(n, dtype=bool)
+    for v in _visit_order(graph, rng, sort_by_degree=True):
+        v = int(v)
+        if matched[v]:
+            continue
+        nbrs = graph.neighbors(v)
+        wts = graph.neighbor_weights(v)
+        free = ~matched[nbrs]
+        if free.any():
+            cand_n = nbrs[free]
+            cand_w = wts[free]
+            u = int(cand_n[int(np.argmax(cand_w))])
+            match[v] = u
+            match[u] = v
+            matched[v] = matched[u] = True
+    return match

@@ -1,0 +1,53 @@
+"""Partitioning algorithms and partition-quality metrics."""
+
+from .analysis import PartitionStructure, PartShape, analyze_structure
+from .base import Partition
+from .block import block_partition, random_partition, strided_partition
+from .geometric import rcb_partition
+from .repartition import (
+    LoadTracker,
+    MigrationCost,
+    migration_cost,
+    repartition_curve,
+)
+from .metrics import (
+    CommunicationPattern,
+    PartitionQuality,
+    communication_pattern,
+    edgecut,
+    evaluate_partition,
+    load_balance,
+    weighted_edgecut,
+)
+from .sfc import (
+    cut_positions_uniform,
+    cut_positions_weighted,
+    partition_curve,
+    sfc_partition,
+)
+
+__all__ = [
+    "CommunicationPattern",
+    "PartShape",
+    "PartitionStructure",
+    "analyze_structure",
+    "LoadTracker",
+    "MigrationCost",
+    "Partition",
+    "PartitionQuality",
+    "block_partition",
+    "communication_pattern",
+    "cut_positions_uniform",
+    "cut_positions_weighted",
+    "edgecut",
+    "evaluate_partition",
+    "load_balance",
+    "migration_cost",
+    "repartition_curve",
+    "partition_curve",
+    "random_partition",
+    "rcb_partition",
+    "sfc_partition",
+    "strided_partition",
+    "weighted_edgecut",
+]

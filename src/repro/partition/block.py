@@ -1,0 +1,54 @@
+"""Naive baseline partitioners: block, strided, and random.
+
+These are not in the paper, but any credible partitioning study needs
+trivial baselines to anchor the comparison: the block partitioner is
+what a model gets "for free" from its storage order, and the random
+partitioner bounds the worst case for communication volume.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import Partition
+
+__all__ = ["block_partition", "strided_partition", "random_partition"]
+
+
+def block_partition(nvertices: int, nparts: int) -> Partition:
+    """Contiguous blocks of the natural (gid) vertex order.
+
+    On the cubed-sphere the gid order is face-major row-major, so this
+    is "split the storage order", the default of many legacy codes.
+    """
+    if not 1 <= nparts <= nvertices:
+        raise ValueError("need 1 <= nparts <= nvertices")
+    base, extra = divmod(nvertices, nparts)
+    sizes = np.full(nparts, base, dtype=np.int64)
+    sizes[:extra] += 1
+    assignment = np.repeat(np.arange(nparts, dtype=np.int64), sizes)
+    return Partition(assignment, nparts=nparts, method="block")
+
+
+def strided_partition(nvertices: int, nparts: int) -> Partition:
+    """Round-robin (cyclic) assignment — perfectly balanced, terrible
+    locality; the communication-volume worst case among deterministic
+    schemes."""
+    if not 1 <= nparts <= nvertices:
+        raise ValueError("need 1 <= nparts <= nvertices")
+    assignment = np.arange(nvertices, dtype=np.int64) % nparts
+    return Partition(assignment, nparts=nparts, method="strided")
+
+
+def random_partition(nvertices: int, nparts: int, seed: int = 0) -> Partition:
+    """Balanced random assignment (a random permutation cut in blocks)."""
+    if not 1 <= nparts <= nvertices:
+        raise ValueError("need 1 <= nparts <= nvertices")
+    rng = np.random.default_rng(seed)
+    perm = rng.permutation(nvertices)
+    base, extra = divmod(nvertices, nparts)
+    sizes = np.full(nparts, base, dtype=np.int64)
+    sizes[:extra] += 1
+    assignment = np.empty(nvertices, dtype=np.int64)
+    assignment[perm] = np.repeat(np.arange(nparts, dtype=np.int64), sizes)
+    return Partition(assignment, nparts=nparts, method="random")

@@ -1,0 +1,55 @@
+"""SEAM substrate: spectral-element machinery and cost accounting.
+
+A runnable analog of the NCAR Spectral Element Atmospheric Model's
+dynamical core: GLL collocation, gnomonic element geometry, direct
+stiffness summation, a conservative transport solver, and the
+flop/byte cost model that drives the performance reproduction.
+"""
+
+from .cost import DEFAULT_COST_MODEL, SEAMCostModel
+from .diagnostics import ErrorNorms, conservation_drift, error_norms
+from .parallel import (
+    ExchangeAccounting,
+    PartitionedDSS,
+    PartitionedTransportRun,
+)
+from .shallow_water import ShallowWaterSolver, SWState, williamson_tc2
+from .dss import DSSOperator, PointMap, build_point_map, exchange_schedule
+from .element import ElementGeometry, GridGeometry, build_geometry
+from .gll import GLLBasis, gll_basis, legendre_and_derivative
+from .transport import (
+    TransportSolver,
+    advect,
+    cosine_bell,
+    rotate_about_axis,
+    solid_body_wind,
+)
+
+__all__ = [
+    "DEFAULT_COST_MODEL",
+    "DSSOperator",
+    "ErrorNorms",
+    "ExchangeAccounting",
+    "PartitionedDSS",
+    "PartitionedTransportRun",
+    "SWState",
+    "ShallowWaterSolver",
+    "ElementGeometry",
+    "GLLBasis",
+    "GridGeometry",
+    "PointMap",
+    "SEAMCostModel",
+    "TransportSolver",
+    "advect",
+    "build_geometry",
+    "build_point_map",
+    "conservation_drift",
+    "cosine_bell",
+    "error_norms",
+    "exchange_schedule",
+    "gll_basis",
+    "legendre_and_derivative",
+    "rotate_about_axis",
+    "solid_body_wind",
+    "williamson_tc2",
+]

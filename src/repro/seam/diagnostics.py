@@ -1,0 +1,67 @@
+"""Standard error norms and conservation diagnostics.
+
+Williamson et al. (1992) define the normalized l1/l2/linf norms used
+by every shallow-water test-case paper since; they are quadrature-
+weighted global integrals, so they need the DSS operator's mass:
+
+    l1 = I(|q - q_ref|) / I(|q_ref|)
+    l2 = sqrt(I((q - q_ref)^2) / I(q_ref^2))
+    linf = max|q - q_ref| / max|q_ref|
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dss import DSSOperator
+
+__all__ = ["ErrorNorms", "error_norms", "conservation_drift"]
+
+
+@dataclass(frozen=True)
+class ErrorNorms:
+    """Normalized Williamson error norms."""
+
+    l1: float
+    l2: float
+    linf: float
+
+    def as_row(self) -> list[str]:
+        return [f"{self.l1:.3e}", f"{self.l2:.3e}", f"{self.linf:.3e}"]
+
+
+def error_norms(
+    dss: DSSOperator, q: np.ndarray, q_ref: np.ndarray
+) -> ErrorNorms:
+    """Quadrature-weighted l1/l2/linf error norms of ``q`` vs ``q_ref``.
+
+    Args:
+        dss: DSS operator of the grid (provides the quadrature mass).
+        q: Computed field ``(nelem, np, np)``.
+        q_ref: Reference field, same shape.
+    """
+    if q.shape != q_ref.shape:
+        raise ValueError("fields must have the same shape")
+    diff = q - q_ref
+    denom1 = dss.integrate(np.abs(q_ref))
+    denom2 = dss.integrate(q_ref**2)
+    denom_inf = float(np.abs(q_ref).max())
+    if denom1 == 0 or denom2 == 0 or denom_inf == 0:
+        raise ValueError("reference field must be nonzero")
+    return ErrorNorms(
+        l1=dss.integrate(np.abs(diff)) / denom1,
+        l2=float(np.sqrt(dss.integrate(diff**2) / denom2)),
+        linf=float(np.abs(diff).max()) / denom_inf,
+    )
+
+
+def conservation_drift(
+    dss: DSSOperator, q0: np.ndarray, q1: np.ndarray
+) -> float:
+    """Relative drift of the global integral between two fields."""
+    m0 = dss.integrate(q0)
+    if m0 == 0:
+        raise ValueError("initial integral is zero")
+    return abs(dss.integrate(q1) - m0) / abs(m0)

@@ -1,0 +1,169 @@
+"""Per-element geometry of the spectral-element cubed-sphere grid.
+
+Each element carries an ``np x np`` tensor grid of GLL points mapped to
+the sphere by the (equiangular) gnomonic projection.  This module
+computes, per GLL point:
+
+* the physical position on the unit sphere;
+* the covariant tangent basis ``e_i = dr/dxi_i`` of the element's
+  reference coordinates (chain rule: reference ``xi in [-1, 1]`` →
+  face angle ``alpha in [-pi/4, pi/4]`` → sphere);
+* the metric tensor ``g_ij = e_i . e_j``, its inverse, and the area
+  Jacobian ``J = sqrt(det g)``;
+
+which is everything the transport solver needs: contravariant wind
+components come from solving ``g u^ = e . u``, and quadrature uses
+``J w_i w_j``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from ..cubesphere.mesh import CubedSphereMesh
+from ..cubesphere.topology import FACES
+from .gll import GLLBasis, gll_basis
+
+__all__ = ["ElementGeometry", "GridGeometry", "build_geometry"]
+
+
+@dataclass(frozen=True)
+class ElementGeometry:
+    """Geometry of one spectral element at its GLL points.
+
+    All arrays are indexed ``[i, j]`` over the tensor GLL grid (``i``
+    along the local x/alpha axis).
+
+    Attributes:
+        gid: Global element id.
+        xyz: ``(np, np, 3)`` unit-sphere positions.
+        basis_a: ``(np, np, 3)`` covariant basis ``dr/dxi_1``.
+        basis_b: ``(np, np, 3)`` covariant basis ``dr/dxi_2``.
+        jac: ``(np, np)`` area Jacobian ``sqrt(det g)``.
+        ginv: ``(np, np, 2, 2)`` inverse metric tensor.
+    """
+
+    gid: int
+    xyz: np.ndarray
+    basis_a: np.ndarray
+    basis_b: np.ndarray
+    jac: np.ndarray
+    ginv: np.ndarray
+
+    def contravariant_wind(self, u_cart: np.ndarray) -> np.ndarray:
+        """Contravariant components of a Cartesian tangent wind field.
+
+        Args:
+            u_cart: ``(np, np, 3)`` tangent vectors at the GLL points.
+
+        Returns:
+            ``(np, np, 2)`` contravariant components ``(u^1, u^2)`` in
+            reference coordinates.
+        """
+        cov1 = np.einsum("ijk,ijk->ij", u_cart, self.basis_a)
+        cov2 = np.einsum("ijk,ijk->ij", u_cart, self.basis_b)
+        cov = np.stack([cov1, cov2], axis=-1)
+        return np.einsum("ijab,ijb->ija", self.ginv, cov)
+
+
+@dataclass(frozen=True)
+class GridGeometry:
+    """Geometry of every element of a cubed-sphere SE grid.
+
+    Attributes:
+        mesh: The element mesh.
+        basis: The 1-D GLL basis shared by both directions.
+        elements: Per-element geometry, indexed by gid.
+    """
+
+    mesh: CubedSphereMesh
+    basis: GLLBasis
+    elements: tuple[ElementGeometry, ...]
+
+    @property
+    def npts(self) -> int:
+        return self.basis.npts
+
+    def total_area(self) -> float:
+        """Quadrature surface area (should be ``4 pi``; tested)."""
+        w = self.basis.weights
+        w2 = w[:, None] * w[None, :]
+        return float(sum((e.jac * w2).sum() for e in self.elements))
+
+
+def _element_geometry(
+    mesh: CubedSphereMesh, basis: GLLBasis, gid: int
+) -> ElementGeometry:
+    face, ix, iy = mesh.locate(gid)
+    ne = mesh.ne
+    f = FACES[face]
+    n = np.array(f.normal, dtype=np.float64)
+    ex = np.array(f.ex, dtype=np.float64)
+    ey = np.array(f.ey, dtype=np.float64)
+    # Abstract local coordinate of each GLL node: a = 2*(ix + t)/ne - 1
+    # with t in [0, 1]; the same expression on both sides of an
+    # element interface makes shared points bit-identical.
+    t = (basis.nodes + 1.0) / 2.0
+    a = 2.0 * (ix + t) / ne - 1.0  # (np,)
+    b = 2.0 * (iy + t) / ne - 1.0
+    alpha = a * (np.pi / 4.0)
+    beta = b * (np.pi / 4.0)
+    x_ = np.tan(alpha)[:, None]  # X(alpha), broadcast over j
+    y_ = np.tan(beta)[None, :]
+    p = (
+        n[None, None, :]
+        + x_[..., None] * ex[None, None, :]
+        + y_[..., None] * ey[None, None, :]
+    )
+    delta = np.linalg.norm(p, axis=-1)
+    r = p / delta[..., None]
+    # d r / d alpha = (1 + X^2) * (ex - r (r . ex)) / delta, then chain
+    # rule to reference coords: d alpha / d xi = (pi/4) * (1/ne) * ...
+    # a = 2 (ix + (xi+1)/2)/ne - 1  =>  da/dxi = 1/ne.
+    dalpha_dxi = (np.pi / 4.0) / ne
+    sec2a = 1.0 + x_**2  # sec^2(alpha) = 1 + tan^2
+    sec2b = 1.0 + y_**2
+    r_dot_ex = np.einsum("ijk,k->ij", r, ex)
+    r_dot_ey = np.einsum("ijk,k->ij", r, ey)
+    dra = (sec2a[..., None] * (ex[None, None, :] - r * r_dot_ex[..., None])) / delta[
+        ..., None
+    ]
+    drb = (sec2b[..., None] * (ey[None, None, :] - r * r_dot_ey[..., None])) / delta[
+        ..., None
+    ]
+    basis_a = dra * dalpha_dxi
+    basis_b = drb * dalpha_dxi
+    g11 = np.einsum("ijk,ijk->ij", basis_a, basis_a)
+    g12 = np.einsum("ijk,ijk->ij", basis_a, basis_b)
+    g22 = np.einsum("ijk,ijk->ij", basis_b, basis_b)
+    det = g11 * g22 - g12 * g12
+    jac = np.sqrt(det)
+    ginv = np.empty(g11.shape + (2, 2))
+    ginv[..., 0, 0] = g22 / det
+    ginv[..., 1, 1] = g11 / det
+    ginv[..., 0, 1] = -g12 / det
+    ginv[..., 1, 0] = -g12 / det
+    return ElementGeometry(
+        gid=gid, xyz=r, basis_a=basis_a, basis_b=basis_b, jac=jac, ginv=ginv
+    )
+
+
+@lru_cache(maxsize=8)
+def build_geometry(ne: int, npts: int = 8) -> GridGeometry:
+    """Build (and cache) the SE grid geometry for resolution ``ne``.
+
+    Args:
+        ne: Elements per cube-face edge.
+        npts: GLL points per element edge (SEAM default 8).
+    """
+    from ..cubesphere.mesh import cubed_sphere_mesh
+
+    mesh = cubed_sphere_mesh(ne)
+    basis = gll_basis(npts)
+    elements = tuple(
+        _element_geometry(mesh, basis, gid) for gid in range(mesh.nelem)
+    )
+    return GridGeometry(mesh=mesh, basis=basis, elements=elements)

@@ -1,0 +1,186 @@
+"""Spectral-element transport on the cubed-sphere (the SEAM analog).
+
+A conservative flux-form advection solver with the exact computational
+structure of SEAM's dynamical core: per-element tensor-product spectral
+derivatives (dense ``np x np`` matrix applications — the flops) and a
+DSS boundary exchange per right-hand-side evaluation (the
+communication).  The equation solved is
+
+    d(q)/dt + (1/J) [ d(J u^1 q)/dxi_1 + d(J u^2 q)/dxi_2 ] = 0
+
+with ``u^i`` the contravariant wind components, integrated with SSP
+RK3 and a DSS projection after every stage.  Solid-body rotation of a
+cosine bell — the standard Williamson test case 1 — gives an analytic
+solution to validate against (tests assert the error is small and
+decreases with ``np``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .dss import DSSOperator
+from .element import GridGeometry
+
+__all__ = [
+    "solid_body_wind",
+    "cosine_bell",
+    "rotate_about_axis",
+    "TransportSolver",
+    "advect",
+]
+
+
+def rotate_about_axis(xyz: np.ndarray, axis: np.ndarray, angle: float) -> np.ndarray:
+    """Rotate points about a unit axis by ``angle`` (Rodrigues)."""
+    axis = np.asarray(axis, dtype=np.float64)
+    axis = axis / np.linalg.norm(axis)
+    c, s = np.cos(angle), np.sin(angle)
+    cross = np.cross(np.broadcast_to(axis, xyz.shape), xyz)
+    dot = np.einsum("...k,k->...", xyz, axis)
+    return c * xyz + s * cross + (1.0 - c) * dot[..., None] * axis
+
+
+def solid_body_wind(xyz: np.ndarray, axis: np.ndarray, omega: float) -> np.ndarray:
+    """Velocity ``Omega x r`` of rigid rotation about ``axis``.
+
+    Args:
+        xyz: ``(..., 3)`` unit-sphere positions.
+        axis: Rotation axis (normalized internally).
+        omega: Angular speed (radians per time unit).
+
+    Returns:
+        ``(..., 3)`` Cartesian tangent velocities.
+    """
+    axis = np.asarray(axis, dtype=np.float64)
+    axis = omega * axis / np.linalg.norm(axis)
+    return np.cross(np.broadcast_to(axis, xyz.shape), xyz)
+
+
+def cosine_bell(
+    xyz: np.ndarray, center: np.ndarray, radius: float = 1.0 / 3.0
+) -> np.ndarray:
+    """Williamson cosine-bell initial condition.
+
+    Args:
+        xyz: ``(..., 3)`` unit-sphere positions.
+        center: Bell center (unit vector).
+        radius: Bell radius in radians of great-circle distance.
+
+    Returns:
+        Field values in ``[0, 1]``.
+    """
+    center = np.asarray(center, dtype=np.float64)
+    center = center / np.linalg.norm(center)
+    dist = np.arccos(np.clip(np.einsum("...k,k->...", xyz, center), -1.0, 1.0))
+    return np.where(dist < radius, 0.5 * (1.0 + np.cos(np.pi * dist / radius)), 0.0)
+
+
+@dataclass
+class TransportSolver:
+    """Flux-form SE advection with a frozen wind field.
+
+    Args:
+        geom: Grid geometry.
+        wind_cart: ``(nelem, np, np, 3)`` Cartesian tangent wind.
+        dss: Optional pre-built DSS operator (rebuilt otherwise).
+    """
+
+    geom: GridGeometry
+    wind_cart: np.ndarray
+    dss: DSSOperator | None = None
+
+    def __post_init__(self) -> None:
+        if self.dss is None:
+            self.dss = DSSOperator(self.geom)
+        nelem = len(self.geom.elements)
+        npts = self.geom.npts
+        if self.wind_cart.shape != (nelem, npts, npts, 3):
+            raise ValueError("wind_cart has wrong shape")
+        # Precompute J and the J-weighted contravariant wind.
+        self.jac = np.stack([e.jac for e in self.geom.elements])
+        contra = np.stack(
+            [
+                e.contravariant_wind(self.wind_cart[e.gid])
+                for e in self.geom.elements
+            ]
+        )
+        self.flux_u = self.jac * contra[..., 0]
+        self.flux_v = self.jac * contra[..., 1]
+        self.diff = self.geom.basis.diff
+        self.rhs_evals = 0  # instrumentation for the cost model
+
+    def rhs(self, q: np.ndarray) -> np.ndarray:
+        """Right-hand side ``-(1/J) div(J u q)`` (element-wise)."""
+        self.rhs_evals += 1
+        fu = self.flux_u * q
+        fv = self.flux_v * q
+        # d/dxi_1 acts on the first tensor index, d/dxi_2 on the second.
+        dfu = np.einsum("ab,ebj->eaj", self.diff, fu)
+        dfv = np.einsum("ab,ejb->eja", self.diff, fv)
+        return -(dfu + dfv) / self.jac
+
+    def stable_dt(self, cfl: float = 0.5) -> float:
+        """CFL-limited timestep for the frozen wind."""
+        nodes = self.geom.basis.nodes
+        min_dxi = float(np.min(np.diff(nodes)))
+        speed = np.abs(self.flux_u / self.jac) + np.abs(self.flux_v / self.jac)
+        max_speed = float(speed.max())
+        if max_speed == 0.0:
+            return np.inf
+        return cfl * min_dxi / max_speed
+
+    def step(self, q: np.ndarray, dt: float) -> np.ndarray:
+        """One SSP RK3 step with DSS projection after every stage."""
+        dss = self.dss
+        assert dss is not None
+        q1 = dss.apply(q + dt * self.rhs(q))
+        q2 = dss.apply(0.75 * q + 0.25 * (q1 + dt * self.rhs(q1)))
+        return dss.apply(q / 3.0 + 2.0 / 3.0 * (q2 + dt * self.rhs(q2)))
+
+    def run(self, q0: np.ndarray, t_end: float, cfl: float = 0.5) -> np.ndarray:
+        """Integrate from ``q0`` to ``t_end``; returns the final field."""
+        dt = self.stable_dt(cfl)
+        nsteps = max(1, int(np.ceil(t_end / dt)))
+        dt = t_end / nsteps
+        q = self.dss.apply(q0) if self.dss else q0
+        for _ in range(nsteps):
+            q = self.step(q, dt)
+        return q
+
+
+def advect(
+    geom: GridGeometry,
+    axis: np.ndarray,
+    angle: float,
+    q0: np.ndarray,
+    cfl: float = 0.5,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Advect a field by solid-body rotation and return (final, exact).
+
+    The exact solution rotates the initial field rigidly, so it is
+    evaluated by sampling ``q0``'s analytic generator at back-rotated
+    positions — the caller passes ``q0`` as *values*, so this helper
+    instead returns the rotated-sample reference computed from the
+    positions (valid when ``q0`` came from :func:`cosine_bell`; for
+    general fields compute your own reference).
+
+    Args:
+        geom: Grid geometry.
+        axis: Rotation axis.
+        angle: Total rotation angle (time with unit angular speed).
+        q0: Initial field ``(nelem, np, np)``.
+        cfl: CFL number.
+
+    Returns:
+        ``(q_final, positions_back_rotated)`` — the second output lets
+        callers evaluate the analytic field at departure points.
+    """
+    xyz = np.stack([e.xyz for e in geom.elements])
+    wind = solid_body_wind(xyz, axis, omega=1.0)
+    solver = TransportSolver(geom, wind)
+    q = solver.run(q0, t_end=angle, cfl=cfl)
+    departed = rotate_about_axis(xyz, np.asarray(axis, dtype=np.float64), -angle)
+    return q, departed

@@ -1,0 +1,67 @@
+"""Space-filling curves: Hilbert, meandering Peano, and Hilbert-Peano.
+
+This package implements Section 3 of Dennis (2003): the recursive
+major/joiner-vector construction of the Hilbert and meandering Peano
+curves, and the paper's new nested Hilbert-Peano curve covering domains
+of side ``2^n * 3^m``.
+"""
+
+from .baselines import (
+    boustrophedon_curve,
+    is_continuous_ordering,
+    morton_curve,
+)
+from .analysis import (
+    CurveLocality,
+    analyze_curve,
+    neighbor_stretch,
+    segment_bounding_boxes,
+    segment_surface_to_volume,
+)
+from .curves import HILBERT, MEANDER_PEANO, TEMPLATES, CurveTemplate, template_for_radix
+from .factorization import (
+    admissible_sizes,
+    all_schedules,
+    default_schedule,
+    factorize_2_3,
+    is_admissible_size,
+    schedule_size,
+)
+from .generator import (
+    SpaceFillingCurve,
+    generate_curve,
+    hilbert_curve,
+    hilbert_peano_curve,
+    peano_curve,
+)
+from .transforms import ALL_TRANSFORMS, IDENTITY, Transform
+
+__all__ = [
+    "ALL_TRANSFORMS",
+    "CurveLocality",
+    "CurveTemplate",
+    "HILBERT",
+    "IDENTITY",
+    "MEANDER_PEANO",
+    "SpaceFillingCurve",
+    "TEMPLATES",
+    "Transform",
+    "admissible_sizes",
+    "all_schedules",
+    "analyze_curve",
+    "boustrophedon_curve",
+    "default_schedule",
+    "factorize_2_3",
+    "generate_curve",
+    "hilbert_curve",
+    "hilbert_peano_curve",
+    "is_admissible_size",
+    "is_continuous_ordering",
+    "morton_curve",
+    "neighbor_stretch",
+    "peano_curve",
+    "schedule_size",
+    "segment_bounding_boxes",
+    "segment_surface_to_volume",
+    "template_for_radix",
+]

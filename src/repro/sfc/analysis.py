@@ -1,0 +1,151 @@
+"""Locality analysis of space-filling curves.
+
+Space-filling curves are useful for partitioning because contiguous
+curve segments stay geometrically compact, which keeps the boundary
+(and hence the communication volume) of each segment small.  These
+diagnostics quantify that property and back the refinement-order
+ablation: the paper leaves open *why* the Hilbert-Peano curve's
+advantage is smaller, and segment compactness is the natural suspect.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from .generator import SpaceFillingCurve
+
+__all__ = [
+    "CurveLocality",
+    "segment_bounding_boxes",
+    "segment_surface_to_volume",
+    "neighbor_stretch",
+    "analyze_curve",
+]
+
+
+@dataclass(frozen=True)
+class CurveLocality:
+    """Summary locality statistics of a curve.
+
+    Attributes:
+        schedule: Refinement schedule of the analyzed curve.
+        size: Domain side length.
+        nsegments: Number of equal segments used for the segment stats.
+        mean_bbox_aspect: Mean aspect ratio (long/short side) of the
+            bounding boxes of equal curve segments; 1.0 is perfectly
+            square, larger is stringier.
+        mean_surface_to_volume: Mean ratio of segment boundary length
+            (in cell edges shared with other segments or the domain
+            hull) to segment area.
+        mean_neighbor_stretch: Mean over grid-adjacent cell pairs of
+            the absolute curve-index distance between them; smaller
+            means grid neighbors stay closer along the curve.
+        max_neighbor_stretch: Worst-case index distance between
+            grid-adjacent cells.
+    """
+
+    schedule: str
+    size: int
+    nsegments: int
+    mean_bbox_aspect: float
+    mean_surface_to_volume: float
+    mean_neighbor_stretch: float
+    max_neighbor_stretch: int
+
+
+def segment_bounding_boxes(
+    curve: SpaceFillingCurve, nsegments: int
+) -> np.ndarray:
+    """Bounding box of each of ``nsegments`` equal curve segments.
+
+    Returns:
+        ``(nsegments, 4)`` int array of ``(xmin, ymin, xmax, ymax)``.
+    """
+    ncells = len(curve)
+    if not 1 <= nsegments <= ncells:
+        raise ValueError(f"nsegments must be in [1, {ncells}]")
+    bounds = np.linspace(0, ncells, nsegments + 1).astype(np.int64)
+    boxes = np.empty((nsegments, 4), dtype=np.int64)
+    for s in range(nsegments):
+        seg = curve.coords[bounds[s] : bounds[s + 1]]
+        boxes[s, 0] = seg[:, 0].min()
+        boxes[s, 1] = seg[:, 1].min()
+        boxes[s, 2] = seg[:, 0].max()
+        boxes[s, 3] = seg[:, 1].max()
+    return boxes
+
+
+def segment_surface_to_volume(
+    curve: SpaceFillingCurve, nsegments: int
+) -> np.ndarray:
+    """Boundary-to-area ratio of each equal curve segment.
+
+    The boundary counts cell edges whose two sides lie in different
+    segments (domain-hull edges excluded: they cost no communication on
+    a closed cubed-sphere face chain, and excluding them keeps the
+    metric comparable across segment counts).
+    """
+    ncells = len(curve)
+    if not 1 <= nsegments <= ncells:
+        raise ValueError(f"nsegments must be in [1, {ncells}]")
+    bounds = np.linspace(0, ncells, nsegments + 1).astype(np.int64)
+    owner = np.empty(ncells, dtype=np.int64)
+    for s in range(nsegments):
+        owner[bounds[s] : bounds[s + 1]] = s
+    n = curve.size
+    seg_of_cell = np.empty((n, n), dtype=np.int64)
+    seg_of_cell[curve.coords[:, 0], curve.coords[:, 1]] = owner
+    areas = np.diff(bounds).astype(np.float64)
+    boundary = np.zeros(nsegments, dtype=np.float64)
+    # Horizontal-neighbor cuts.
+    diff_x = seg_of_cell[:-1, :] != seg_of_cell[1:, :]
+    # Vertical-neighbor cuts.
+    diff_y = seg_of_cell[:, :-1] != seg_of_cell[:, 1:]
+    np.add.at(boundary, seg_of_cell[:-1, :][diff_x], 1.0)
+    np.add.at(boundary, seg_of_cell[1:, :][diff_x], 1.0)
+    np.add.at(boundary, seg_of_cell[:, :-1][diff_y], 1.0)
+    np.add.at(boundary, seg_of_cell[:, 1:][diff_y], 1.0)
+    return boundary / areas
+
+
+def neighbor_stretch(curve: SpaceFillingCurve) -> np.ndarray:
+    """Curve-index distance for every grid-adjacent cell pair.
+
+    Returns:
+        1-D int array, one entry per undirected grid edge.
+    """
+    idx = curve.index
+    horizontal = np.abs(idx[:-1, :] - idx[1:, :]).ravel()
+    vertical = np.abs(idx[:, :-1] - idx[:, 1:]).ravel()
+    return np.concatenate([horizontal, vertical])
+
+
+def analyze_curve(
+    curve: SpaceFillingCurve, nsegments: int | None = None
+) -> CurveLocality:
+    """Compute the full :class:`CurveLocality` summary for a curve.
+
+    Args:
+        curve: Curve to analyze.
+        nsegments: Segment count for the segment statistics; defaults
+            to the curve's side length (square-root partitioning).
+    """
+    if nsegments is None:
+        nsegments = curve.size
+    boxes = segment_bounding_boxes(curve, nsegments)
+    w = (boxes[:, 2] - boxes[:, 0] + 1).astype(np.float64)
+    h = (boxes[:, 3] - boxes[:, 1] + 1).astype(np.float64)
+    aspect = np.maximum(w, h) / np.minimum(w, h)
+    s2v = segment_surface_to_volume(curve, nsegments)
+    stretch = neighbor_stretch(curve)
+    return CurveLocality(
+        schedule=curve.schedule,
+        size=curve.size,
+        nsegments=nsegments,
+        mean_bbox_aspect=float(aspect.mean()),
+        mean_surface_to_volume=float(s2v.mean()),
+        mean_neighbor_stretch=float(stretch.mean()) if stretch.size else 0.0,
+        max_neighbor_stretch=int(stretch.max()) if stretch.size else 0,
+    )

@@ -1,0 +1,182 @@
+"""Base curve templates: Hilbert (radix 2) and meandering Peano (radix 3).
+
+A *template* describes one refinement step of a space-filling curve in
+canonical orientation.  The canonical contract, shared by every
+template (this is the paper's observation that makes Hilbert and
+m-Peano nestable into the new Hilbert-Peano curve), is:
+
+* the curve enters its domain at the bottom-left cell ``(0, 0)``;
+* the curve exits at the bottom-right cell ``(n - 1, 0)``;
+* equivalently, the *major vector* points along ``+x``.
+
+One refinement step of radix ``r`` splits the domain into ``r x r``
+child blocks, visits the blocks in a fixed order, and traverses each
+block with a D4-transformed copy of the (recursively refined) canonical
+curve.  Continuity requires the exit cell of each child to be a unit
+grid step away from the entry cell of the next child; the module
+validates that at import time for every registered template so a typo
+in a transform table cannot silently corrupt every downstream result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from .transforms import (
+    ANTITRANSPOSE,
+    IDENTITY,
+    ROT180,
+    TRANSPOSE,
+    Transform,
+)
+
+__all__ = [
+    "CurveTemplate",
+    "HILBERT",
+    "MEANDER_PEANO",
+    "TEMPLATES",
+    "template_for_radix",
+]
+
+
+@dataclass(frozen=True)
+class CurveTemplate:
+    """One refinement step of a self-similar space-filling curve.
+
+    Attributes:
+        name: Curve family name (``"hilbert"`` or ``"m-peano"``).
+        radix: Refinement factor ``r``; the step subdivides a domain
+            into ``r x r`` child blocks.
+        blocks: Child block coordinates ``(bx, by)`` in visit order.
+        transforms: D4 element applied to the canonical child curve in
+            each block, aligned with :attr:`blocks`.
+        code: Single-letter code used in refinement schedules
+            (``"H"`` / ``"P"``).
+    """
+
+    name: str
+    radix: int
+    blocks: tuple[tuple[int, int], ...]
+    transforms: tuple[Transform, ...]
+    code: str = field(default="?")
+
+    def __post_init__(self) -> None:
+        r = self.radix
+        if len(self.blocks) != r * r or len(self.transforms) != r * r:
+            raise ValueError(
+                f"{self.name}: need {r * r} blocks/transforms, got "
+                f"{len(self.blocks)}/{len(self.transforms)}"
+            )
+        if sorted(self.blocks) != sorted(
+            (bx, by) for bx in range(r) for by in range(r)
+        ):
+            raise ValueError(f"{self.name}: blocks must tile the {r}x{r} grid")
+        self._validate_continuity()
+
+    def _validate_continuity(self) -> None:
+        """Check entry/exit adjacency for a child size of 1 and 2.
+
+        Validating at two child sizes is sufficient: entry/exit cells
+        are affine in the child size ``s``, so adjacency at ``s = 1``
+        and ``s = 2`` implies adjacency for all ``s >= 1``.
+        """
+        for s in (1, 2):
+            entry_exit = []
+            for (bx, by), tr in zip(self.blocks, self.transforms):
+                ex, ey = tr.apply(0, 0, s)  # canonical entry
+                qx, qy = tr.apply(s - 1, 0, s)  # canonical exit
+                entry_exit.append(
+                    ((bx * s + ex, by * s + ey), (bx * s + qx, by * s + qy))
+                )
+            n = self.radix * s
+            first_entry = entry_exit[0][0]
+            last_exit = entry_exit[-1][1]
+            if first_entry != (0, 0):
+                raise ValueError(
+                    f"{self.name}: curve must enter at (0,0), enters at "
+                    f"{first_entry} (child size {s})"
+                )
+            if last_exit != (n - 1, 0):
+                raise ValueError(
+                    f"{self.name}: curve must exit at ({n - 1},0), exits at "
+                    f"{last_exit} (child size {s})"
+                )
+            for k in range(len(entry_exit) - 1):
+                (_, (qx, qy)) = entry_exit[k]
+                ((ex, ey), _) = entry_exit[k + 1]
+                if abs(qx - ex) + abs(qy - ey) != 1:
+                    raise ValueError(
+                        f"{self.name}: child {k} exit {(qx, qy)} not "
+                        f"adjacent to child {k + 1} entry {(ex, ey)} "
+                        f"(child size {s})"
+                    )
+
+
+#: Hilbert refinement (paper Figs. 2-3).  The level-1 curve is the
+#: U shape (0,0) -> (0,1) -> (1,1) -> (1,0); the first and last child
+#: curves are reflected so their major vectors turn the corner, exactly
+#: the parent/child vector relation of the paper's Figure 2b.
+HILBERT = CurveTemplate(
+    name="hilbert",
+    radix=2,
+    blocks=((0, 0), (0, 1), (1, 1), (1, 0)),
+    transforms=(TRANSPOSE, IDENTITY, IDENTITY, ANTITRANSPOSE),
+    code="H",
+)
+
+#: Meandering Peano refinement (paper Fig. 4).  Unlike the classical
+#: boustrophedon Peano curve (which crosses the domain corner-to-
+#: opposite-corner), the meandering variant enters and exits on the
+#: same side, giving it the single-axis major vector required for
+#: nesting with Hilbert steps.
+MEANDER_PEANO = CurveTemplate(
+    name="m-peano",
+    radix=3,
+    blocks=(
+        (0, 0),
+        (0, 1),
+        (0, 2),
+        (1, 2),
+        (2, 2),
+        (2, 1),
+        (1, 1),
+        (1, 0),
+        (2, 0),
+    ),
+    transforms=(
+        TRANSPOSE,
+        TRANSPOSE,
+        IDENTITY,
+        IDENTITY,
+        IDENTITY,
+        ROT180,
+        ANTITRANSPOSE,
+        ANTITRANSPOSE,
+        IDENTITY,
+    ),
+    code="P",
+)
+
+#: Registry keyed by both the schedule code and the family name.
+TEMPLATES: dict[str, CurveTemplate] = {
+    "H": HILBERT,
+    "P": MEANDER_PEANO,
+    "hilbert": HILBERT,
+    "m-peano": MEANDER_PEANO,
+    "peano": MEANDER_PEANO,
+}
+
+
+def template_for_radix(radix: int) -> CurveTemplate:
+    """Return the base template with the given refinement factor.
+
+    Args:
+        radix: 2 for Hilbert, 3 for meandering Peano.
+
+    Raises:
+        KeyError: If no template exists for ``radix``.
+    """
+    for tpl in (HILBERT, MEANDER_PEANO):
+        if tpl.radix == radix:
+            return tpl
+    raise KeyError(f"no curve template with radix {radix}")

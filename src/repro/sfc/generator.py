@@ -1,0 +1,183 @@
+"""Vectorized generation of Hilbert, m-Peano and Hilbert-Peano curves.
+
+The generator expands a refinement schedule (see
+:mod:`repro.sfc.factorization`) into the full visit order of an
+``n x n`` domain.  Rather than the per-cell recursion of the paper's
+Fortran pseudo-code (Fig. 3), the same recursion is evaluated *one
+level at a time over whole arrays*: if ``sub`` is the ``(s*s, 2)``
+array of the already-generated child curve, one refinement step of
+radix ``r`` produces the ``(r*r*s*s, 2)`` parent curve by applying each
+child-block D4 transform to ``sub`` with a single vectorized signed
+permutation and adding the block offset.  This is mathematically
+identical to the recursive definition but runs at NumPy speed
+(~10^7 cells/s) instead of Python call speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from .curves import TEMPLATES, CurveTemplate
+from .factorization import default_schedule, schedule_size
+
+__all__ = [
+    "SpaceFillingCurve",
+    "generate_curve",
+    "hilbert_curve",
+    "peano_curve",
+    "hilbert_peano_curve",
+]
+
+
+@dataclass(frozen=True)
+class SpaceFillingCurve:
+    """A generated space-filling curve over an ``n x n`` cell grid.
+
+    Attributes:
+        schedule: Refinement schedule that produced the curve, coarsest
+            level first (e.g. ``"PHH"`` for a 12x12 Hilbert-Peano).
+        size: Side length ``n`` of the domain.
+        coords: ``(n*n, 2)`` int array; ``coords[k]`` is the ``(x, y)``
+            cell visited at curve position ``k``.
+        index: ``(n, n)`` int array; ``index[x, y]`` is the curve
+            position of cell ``(x, y)`` (inverse of :attr:`coords`).
+    """
+
+    schedule: str
+    size: int
+    coords: np.ndarray
+    index: np.ndarray
+
+    def __post_init__(self) -> None:
+        self.coords.setflags(write=False)
+        self.index.setflags(write=False)
+
+    def __len__(self) -> int:
+        return self.size * self.size
+
+    def position_of(self, x: int, y: int) -> int:
+        """Curve position of cell ``(x, y)``."""
+        return int(self.index[x, y])
+
+    def cell_at(self, k: int) -> tuple[int, int]:
+        """Cell visited at curve position ``k``."""
+        x, y = self.coords[k]
+        return int(x), int(y)
+
+    @property
+    def entry(self) -> tuple[int, int]:
+        """First cell on the curve (canonical: ``(0, 0)``)."""
+        return self.cell_at(0)
+
+    @property
+    def exit(self) -> tuple[int, int]:
+        """Last cell on the curve (canonical: ``(n - 1, 0)``)."""
+        return self.cell_at(len(self) - 1)
+
+    def step_lengths(self) -> np.ndarray:
+        """Manhattan distance between consecutive cells (all 1 for a
+        valid curve — exposed for tests and locality analysis)."""
+        d = np.abs(np.diff(self.coords.astype(np.int64), axis=0))
+        return d.sum(axis=1)
+
+    def render(self) -> str:
+        """ASCII rendering of visit order, origin at bottom-left."""
+        n = self.size
+        width = len(str(n * n - 1))
+        rows = []
+        for y in range(n - 1, -1, -1):
+            rows.append(
+                " ".join(f"{int(self.index[x, y]):>{width}d}" for x in range(n))
+            )
+        return "\n".join(rows)
+
+
+def _expand(schedule: str) -> np.ndarray:
+    """Expand a schedule into the ``(n*n, 2)`` visit-order array.
+
+    The schedule is consumed from the *finest* level outwards: start
+    with the single-cell curve and repeatedly wrap it in one
+    refinement step, ending with the coarsest (first) entry.
+    """
+    coords = np.zeros((1, 2), dtype=np.int64)
+    size = 1
+    for code in reversed(schedule):
+        tpl: CurveTemplate = TEMPLATES[code]
+        r = tpl.radix
+        pieces = []
+        for (bx, by), tr in zip(tpl.blocks, tpl.transforms):
+            part = tr.apply_points(coords, size)
+            part = part + np.array([bx * size, by * size], dtype=np.int64)
+            pieces.append(part)
+        coords = np.concatenate(pieces, axis=0)
+        size *= r
+    return coords
+
+
+@lru_cache(maxsize=64)
+def _generate_cached(schedule: str) -> SpaceFillingCurve:
+    for code in schedule:
+        if code not in ("H", "P"):
+            raise ValueError(f"unknown refinement code {code!r}")
+    n = schedule_size(schedule)
+    coords = _expand(schedule)
+    index = np.empty((n, n), dtype=np.int64)
+    index[coords[:, 0], coords[:, 1]] = np.arange(n * n, dtype=np.int64)
+    return SpaceFillingCurve(schedule=schedule, size=n, coords=coords, index=index)
+
+
+def generate_curve(
+    size: int | None = None, *, schedule: str | None = None
+) -> SpaceFillingCurve:
+    """Generate a space-filling curve.
+
+    Exactly one of ``size`` and ``schedule`` selects the curve: a size
+    is expanded with the paper's default Peano-first schedule; an
+    explicit schedule string (coarsest level first) gives full control
+    over nesting order for the refinement-order ablation.
+
+    Args:
+        size: Domain side length, must be of the form ``2^n * 3^m``.
+        schedule: Refinement schedule over ``{"H", "P"}``.
+
+    Returns:
+        The generated :class:`SpaceFillingCurve`.
+
+    Raises:
+        ValueError: On inadmissible sizes, unknown schedule codes, or
+            if both/neither selector is given.
+    """
+    if (size is None) == (schedule is None):
+        raise ValueError("pass exactly one of `size` or `schedule`")
+    if schedule is None:
+        assert size is not None
+        schedule = default_schedule(size)
+    return _generate_cached(schedule)
+
+
+def hilbert_curve(level: int) -> SpaceFillingCurve:
+    """Hilbert curve of the given recursion level (size ``2**level``)."""
+    if level < 0:
+        raise ValueError("level must be non-negative")
+    return generate_curve(schedule="H" * level)
+
+
+def peano_curve(level: int) -> SpaceFillingCurve:
+    """Meandering Peano curve of the given level (size ``3**level``)."""
+    if level < 0:
+        raise ValueError("level must be non-negative")
+    return generate_curve(schedule="P" * level)
+
+
+def hilbert_peano_curve(hilbert_level: int, peano_level: int) -> SpaceFillingCurve:
+    """Nested Hilbert-Peano curve of size ``2**n * 3**m``.
+
+    Follows the paper's construction order: the m-Peano refinements are
+    applied first (coarsest), then the Hilbert refinements (Fig. 5).
+    """
+    if hilbert_level < 0 or peano_level < 0:
+        raise ValueError("levels must be non-negative")
+    return generate_curve(schedule="P" * peano_level + "H" * hilbert_level)

@@ -1,0 +1,140 @@
+"""Dihedral-group transforms used to orient space-filling sub-curves.
+
+Dennis (2003) describes curve refinement in terms of *major* and
+*joiner* vectors attached to every sub-domain (after Pilkington &
+Baden).  The major vector fixes the orientation of the child curve and
+the joiner vector points at the next sub-domain visited.  Both pieces
+of information are equivalent to choosing, for each child block, an
+element of the dihedral group D4 (the eight symmetries of the square)
+that maps the *canonical* child curve into the block:
+
+* the canonical curve of size ``n`` enters at cell ``(0, 0)`` and exits
+  at cell ``(n - 1, 0)`` — i.e. its major vector points along ``+x``;
+* applying a D4 element rotates/reflects the whole child curve, which
+  rotates/reflects its major and joiner vectors with it.
+
+Working with D4 elements instead of raw vectors keeps the recursion
+closed under composition (composing two symmetries is a table lookup)
+and lets the generator apply a transform to *every* cell of a child
+curve with one vectorized NumPy expression.
+
+Coordinates are ``(x, y)`` integer cell indices with the origin at the
+bottom-left corner of the (sub-)domain; cells run ``0 .. n-1`` on each
+axis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "Transform",
+    "IDENTITY",
+    "ROT90",
+    "ROT180",
+    "ROT270",
+    "TRANSPOSE",
+    "ANTITRANSPOSE",
+    "FLIP_X",
+    "FLIP_Y",
+    "ALL_TRANSFORMS",
+]
+
+
+@dataclass(frozen=True)
+class Transform:
+    """An element of D4 acting on an ``n x n`` block of cells.
+
+    The action on a cell ``(x, y)`` of an ``n``-sized block is::
+
+        (x', y') = M @ (x, y) + (n - 1) * t
+
+    where ``M`` is a signed permutation matrix and ``t`` offsets the
+    image back into ``[0, n-1]^2`` for the axes that ``M`` negates.
+    ``t`` is stored implicitly: a coordinate needs the ``n - 1`` shift
+    exactly when its row of ``M`` sums to ``-1``.
+
+    Attributes:
+        name: Human-readable label (e.g. ``"rot90"``).
+        mxx, mxy, myx, myy: Entries of the 2x2 signed permutation
+            matrix ``M`` (each in ``{-1, 0, 1}``).
+    """
+
+    name: str
+    mxx: int
+    mxy: int
+    myx: int
+    myy: int
+
+    def apply(self, x, y, n: int):
+        """Apply the transform to cell coordinates inside an ``n``-block.
+
+        Args:
+            x: Cell x-coordinates (scalar or array).
+            y: Cell y-coordinates (scalar or array).
+            n: Side length of the block being transformed.
+
+        Returns:
+            Tuple ``(x', y')`` of transformed coordinates, same shape
+            as the inputs, guaranteed to lie in ``[0, n-1]``.
+        """
+        sx = n - 1 if (self.mxx + self.mxy) < 0 else 0
+        sy = n - 1 if (self.myx + self.myy) < 0 else 0
+        xp = self.mxx * x + self.mxy * y + sx
+        yp = self.myx * x + self.myy * y + sy
+        return xp, yp
+
+    def apply_points(self, pts: np.ndarray, n: int) -> np.ndarray:
+        """Vectorized :meth:`apply` for an ``(m, 2)`` array of cells."""
+        x, y = self.apply(pts[:, 0], pts[:, 1], n)
+        return np.stack([x, y], axis=1)
+
+    def compose(self, other: "Transform") -> "Transform":
+        """Return the transform equal to ``self`` applied after ``other``.
+
+        ``(self.compose(other)).apply(p) == self.apply(other.apply(p))``
+        for every cell ``p`` of any block size.
+        """
+        # Matrix product of the linear parts; offsets recompute from signs.
+        mxx = self.mxx * other.mxx + self.mxy * other.myx
+        mxy = self.mxx * other.mxy + self.mxy * other.myy
+        myx = self.myx * other.mxx + self.myy * other.myx
+        myy = self.myx * other.mxy + self.myy * other.myy
+        key = (mxx, mxy, myx, myy)
+        return _BY_MATRIX[key]
+
+    def inverse(self) -> "Transform":
+        """Return the group inverse."""
+        # Inverse of a signed permutation matrix is its transpose.
+        key = (self.mxx, self.myx, self.mxy, self.myy)
+        return _BY_MATRIX[key]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Transform({self.name})"
+
+
+IDENTITY = Transform("identity", 1, 0, 0, 1)
+ROT90 = Transform("rot90", 0, -1, 1, 0)  # counter-clockwise quarter turn
+ROT180 = Transform("rot180", -1, 0, 0, -1)
+ROT270 = Transform("rot270", 0, 1, -1, 0)
+TRANSPOSE = Transform("transpose", 0, 1, 1, 0)  # mirror across y = x
+ANTITRANSPOSE = Transform("antitranspose", 0, -1, -1, 0)  # across y = -x
+FLIP_X = Transform("flip_x", -1, 0, 0, 1)  # mirror across vertical axis
+FLIP_Y = Transform("flip_y", 1, 0, 0, -1)  # mirror across horizontal axis
+
+ALL_TRANSFORMS: tuple[Transform, ...] = (
+    IDENTITY,
+    ROT90,
+    ROT180,
+    ROT270,
+    TRANSPOSE,
+    ANTITRANSPOSE,
+    FLIP_X,
+    FLIP_Y,
+)
+
+_BY_MATRIX: dict[tuple[int, int, int, int], Transform] = {
+    (t.mxx, t.mxy, t.myx, t.myy): t for t in ALL_TRANSFORMS
+}

@@ -1,0 +1,71 @@
+"""Shared fixtures: small meshes, graphs and partitions used across suites."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cubesphere import cubed_sphere_mesh
+from repro.graphs import CSRGraph, graph_from_edges, mesh_graph
+
+
+@pytest.fixture(scope="session")
+def mesh4():
+    """Cubed-sphere mesh at ne=4 (96 elements)."""
+    return cubed_sphere_mesh(4)
+
+
+@pytest.fixture(scope="session")
+def mesh8():
+    """Cubed-sphere mesh at ne=8 (K=384, the paper's smallest case)."""
+    return cubed_sphere_mesh(8)
+
+
+@pytest.fixture(scope="session")
+def graph4(mesh4) -> CSRGraph:
+    return mesh_graph(mesh4)
+
+
+@pytest.fixture(scope="session")
+def graph8(mesh8) -> CSRGraph:
+    return mesh_graph(mesh8)
+
+
+@pytest.fixture()
+def rng() -> np.random.Generator:
+    return np.random.default_rng(12345)
+
+
+def grid_graph(nx: int, ny: int) -> CSRGraph:
+    """A 4-connected nx x ny grid graph with unit weights."""
+    edges = []
+    for x in range(nx):
+        for y in range(ny):
+            v = x * ny + y
+            if x + 1 < nx:
+                edges.append((v, (x + 1) * ny + y))
+            if y + 1 < ny:
+                edges.append((v, v + 1))
+    return graph_from_edges(nx * ny, np.array(edges))
+
+
+def path_graph(n: int) -> CSRGraph:
+    """A simple path of n vertices."""
+    edges = np.array([(i, i + 1) for i in range(n - 1)])
+    return graph_from_edges(n, edges)
+
+
+def two_cliques(k: int) -> CSRGraph:
+    """Two k-cliques joined by a single bridge edge."""
+    edges = []
+    for base in (0, k):
+        for i in range(k):
+            for j in range(i + 1, k):
+                edges.append((base + i, base + j))
+    edges.append((k - 1, k))
+    return graph_from_edges(2 * k, np.array(edges))
+
+
+@pytest.fixture()
+def grid6x6() -> CSRGraph:
+    return grid_graph(6, 6)

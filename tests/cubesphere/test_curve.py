@@ -1,0 +1,99 @@
+"""Unit tests for the global cubed-sphere space-filling curve (Fig. 6)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cubesphere.curve import (
+    build_curve,
+    cubed_sphere_curve,
+    find_face_chain,
+)
+from repro.cubesphere.mesh import cubed_sphere_mesh
+
+PAPER_NES = [8, 9, 16, 18]
+SMALL_NES = [1, 2, 3, 4, 6]
+
+
+class TestFaceChain:
+    def test_chain_covers_all_faces(self, mesh4):
+        chain = find_face_chain(mesh4)
+        assert sorted(chain.faces) == [0, 1, 2, 3, 4, 5]
+        assert len(chain.transforms) == 6
+
+    def test_chain_deterministic(self, mesh4):
+        a = find_face_chain(mesh4)
+        b = find_face_chain(mesh4)
+        assert a.faces == b.faces
+        assert a.transforms == b.transforms
+
+    def test_chain_consecutive_faces_adjacent(self, mesh4):
+        """Consecutive chain faces share a cube edge."""
+        chain = find_face_chain(mesh4)
+        ne2 = mesh4.ne**2
+        for a, b in zip(chain.faces, chain.faces[1:]):
+            # Some element of face a must edge-neighbor some element
+            # of face b.
+            found = False
+            for gid in range(a * ne2, (a + 1) * ne2):
+                nb_faces = {
+                    int(n) // ne2 for n in mesh4.edge_neighbors(gid)
+                }
+                if b in nb_faces:
+                    found = True
+                    break
+            assert found
+
+
+class TestGlobalCurve:
+    @pytest.mark.parametrize("ne", SMALL_NES + PAPER_NES)
+    def test_hamiltonian_path(self, ne):
+        c = cubed_sphere_curve(ne)
+        assert sorted(c.order.tolist()) == list(range(c.mesh.nelem))
+        assert c.is_continuous()
+
+    @pytest.mark.parametrize("ne", [2, 6])
+    def test_position_inverts_order(self, ne):
+        c = cubed_sphere_curve(ne)
+        np.testing.assert_array_equal(
+            c.position[c.order], np.arange(len(c))
+        )
+
+    def test_len(self):
+        assert len(cubed_sphere_curve(4)) == 96
+
+    def test_explicit_schedule(self):
+        c = build_curve(cubed_sphere_mesh(6), schedule="HP")
+        assert c.schedule == "HP"
+        assert c.is_continuous()
+
+    def test_schedule_size_mismatch_rejected(self):
+        with pytest.raises(ValueError, match="generates size"):
+            build_curve(cubed_sphere_mesh(6), schedule="HH")
+
+    def test_inadmissible_ne_rejected(self):
+        with pytest.raises(ValueError, match="not of the form"):
+            cubed_sphere_curve(10)
+
+    def test_cache(self):
+        assert cubed_sphere_curve(4) is cubed_sphere_curve(4)
+        assert cubed_sphere_curve(6, "PH") is not cubed_sphere_curve(6, "HP")
+
+    def test_order_readonly(self):
+        c = cubed_sphere_curve(2)
+        with pytest.raises(ValueError):
+            c.order[0] = 5
+
+    def test_each_face_traversed_contiguously(self):
+        """The curve finishes one face before entering the next."""
+        c = cubed_sphere_curve(4)
+        ne2 = 16
+        faces_seq = c.order // ne2
+        changes = int((np.diff(faces_seq) != 0).sum())
+        assert changes == 5  # exactly one transition per chained face pair
+
+    @pytest.mark.parametrize("schedule", ["PH", "HP"])
+    def test_hilbert_peano_schedules_both_work(self, schedule):
+        c = build_curve(cubed_sphere_mesh(6), schedule=schedule)
+        assert c.is_continuous()

@@ -1,0 +1,84 @@
+"""Unit tests for the gnomonic projection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cubesphere.projection import (
+    PROJECTIONS,
+    element_center_local,
+    face_local_grid,
+    local_to_sphere,
+    sphere_to_lonlat,
+)
+
+
+class TestLocalToSphere:
+    @pytest.mark.parametrize("projection", PROJECTIONS)
+    def test_unit_vectors(self, projection):
+        a = np.linspace(-1, 1, 7)
+        for face in range(6):
+            xyz = local_to_sphere(face, a[:, None], a[None, :], projection)
+            np.testing.assert_allclose(
+                np.linalg.norm(xyz, axis=-1), 1.0, atol=1e-14
+            )
+
+    def test_face_center_maps_to_normal(self):
+        from repro.cubesphere.topology import FACES
+
+        for f in FACES:
+            xyz = local_to_sphere(f.index, 0.0, 0.0)
+            np.testing.assert_allclose(xyz, np.array(f.normal, dtype=float))
+
+    def test_face_corner_maps_to_cube_corner(self):
+        xyz = local_to_sphere(0, 1.0, 1.0, "equidistant")
+        np.testing.assert_allclose(xyz, np.ones(3) / np.sqrt(3.0))
+
+    def test_equiangular_corner_agrees(self):
+        # tan(pi/4) = 1, so the corners coincide across projections.
+        a = local_to_sphere(0, 1.0, 1.0, "equiangular")
+        b = local_to_sphere(0, 1.0, 1.0, "equidistant")
+        np.testing.assert_allclose(a, b, atol=1e-15)
+
+    def test_projections_differ_in_interior(self):
+        a = local_to_sphere(0, 0.5, 0.5, "equiangular")
+        b = local_to_sphere(0, 0.5, 0.5, "equidistant")
+        assert not np.allclose(a, b)
+
+    def test_unknown_projection(self):
+        with pytest.raises(ValueError, match="unknown projection"):
+            local_to_sphere(0, 0.0, 0.0, "mercator")
+
+
+class TestLonLat:
+    def test_axes(self):
+        lon, lat = sphere_to_lonlat(np.array([1.0, 0.0, 0.0]))
+        assert lon == pytest.approx(0.0)
+        assert lat == pytest.approx(0.0)
+        lon, lat = sphere_to_lonlat(np.array([0.0, 1.0, 0.0]))
+        assert lon == pytest.approx(np.pi / 2)
+        lon, lat = sphere_to_lonlat(np.array([0.0, 0.0, 1.0]))
+        assert lat == pytest.approx(np.pi / 2)
+
+    def test_ranges(self):
+        rng = np.random.default_rng(0)
+        v = rng.standard_normal((100, 3))
+        v /= np.linalg.norm(v, axis=1, keepdims=True)
+        lon, lat = sphere_to_lonlat(v)
+        assert (np.abs(lat) <= np.pi / 2 + 1e-12).all()
+        assert (np.abs(lon) <= np.pi + 1e-12).all()
+
+
+class TestGrids:
+    def test_element_centers_shape_and_range(self):
+        a, b = element_center_local(4)
+        assert a.shape == b.shape == (4, 4)
+        assert a.min() == pytest.approx(-0.75)
+        assert a.max() == pytest.approx(0.75)
+
+    def test_face_local_grid(self):
+        a, b = face_local_grid(2, 3)
+        assert len(a) == 6
+        assert (np.diff(a) > 0).all()
+        assert -1 < a[0] < a[-1] < 1

@@ -1,0 +1,92 @@
+"""Unit tests for cube topology and exact node identification."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cubesphere.topology import (
+    FACES,
+    NUM_FACES,
+    Face,
+    corner_nodes_scaled,
+    face_point,
+)
+
+
+class TestFaces:
+    def test_six_faces(self):
+        assert len(FACES) == NUM_FACES == 6
+
+    def test_frames_right_handed(self):
+        for f in FACES:
+            np.testing.assert_array_equal(
+                np.cross(f.ex, f.ey), np.array(f.normal)
+            )
+
+    def test_normals_cover_all_directions(self):
+        normals = {f.normal for f in FACES}
+        assert normals == {
+            (1, 0, 0), (-1, 0, 0), (0, 1, 0), (0, -1, 0), (0, 0, 1), (0, 0, -1),
+        }
+
+    def test_bad_frame_rejected(self):
+        with pytest.raises(ValueError, match="ex x ey"):
+            Face(0, (1, 0, 0), (0, 1, 0), (0, 1, 0))
+
+
+class TestFacePoint:
+    def test_center_is_normal(self):
+        for f in FACES:
+            np.testing.assert_allclose(
+                face_point(f.index, 0.0, 0.0), np.array(f.normal, dtype=float)
+            )
+
+    def test_point_on_cube_surface(self):
+        p = face_point(0, 0.3, -0.7)
+        assert np.max(np.abs(p)) == pytest.approx(1.0)
+
+    def test_vectorized(self):
+        a = np.linspace(-1, 1, 5)
+        p = face_point(2, a, a)
+        assert p.shape == (5, 3)
+        assert np.allclose(np.abs(p).max(axis=1), 1.0)
+
+
+class TestCornerNodes:
+    def test_shape(self):
+        nodes = corner_nodes_scaled(0, 4)
+        assert nodes.shape == (5, 5, 3)
+        assert nodes.dtype == np.int64
+
+    def test_all_on_scaled_cube_surface(self):
+        ne = 3
+        for face in range(6):
+            nodes = corner_nodes_scaled(face, ne)
+            assert (np.abs(nodes).max(axis=-1) == ne).all()
+
+    def test_shared_edges_coincide_exactly(self):
+        """Nodes on cube edges are bitwise equal between the two faces."""
+        ne = 4
+        all_nodes = [
+            {tuple(n) for n in corner_nodes_scaled(f, ne).reshape(-1, 3).tolist()}
+            for f in range(6)
+        ]
+        # Each pair of adjacent faces shares exactly ne+1 nodes; the
+        # cube has 12 edges, so total shared-pair count is 12*(ne+1)
+        # minus corner multi-counting.  Check the global unique count:
+        # 6*(ne+1)^2 raw nodes collapse to 6*ne^2 + 2 unique.
+        union = set().union(*all_nodes)
+        assert len(union) == 6 * ne * ne + 2
+
+    def test_adjacent_faces_share_edge_nodes(self):
+        ne = 2
+        a = {tuple(n) for n in corner_nodes_scaled(0, ne).reshape(-1, 3).tolist()}
+        b = {tuple(n) for n in corner_nodes_scaled(1, ne).reshape(-1, 3).tolist()}
+        assert len(a & b) == ne + 1
+
+    def test_opposite_faces_share_nothing(self):
+        ne = 3
+        a = {tuple(n) for n in corner_nodes_scaled(0, ne).reshape(-1, 3).tolist()}
+        b = {tuple(n) for n in corner_nodes_scaled(2, ne).reshape(-1, 3).tolist()}
+        assert not (a & b)

@@ -1,0 +1,57 @@
+"""Unit tests for the ablation studies (small, fast configurations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.ablations import (
+    hilbert_peano_gap_study,
+    network_ablation,
+    refinement_order_study,
+)
+
+
+class TestRefinementOrder:
+    def test_all_schedules_covered(self):
+        results = refinement_order_study(ne=6, nproc=24)
+        assert sorted(r.schedule for r in results) == ["HP", "PH"]
+
+    def test_all_schedules_perfectly_balanced(self):
+        for r in refinement_order_study(ne=6, nproc=24):
+            assert r.sfc_result.quality.lb_nelemd == 0.0
+
+    def test_locality_attached(self):
+        results = refinement_order_study(ne=6, nproc=24)
+        for r in results:
+            assert r.locality.schedule == r.schedule
+            assert r.locality.mean_neighbor_stretch > 0
+
+
+class TestNetworkAblation:
+    def test_structure(self):
+        out = network_ablation(ne=4, nproc=24, methods=("sfc", "rb"))
+        assert set(out) == {"sfc", "rb"}
+        assert set(out["sfc"]) == {"p690", "flat"}
+
+    def test_flat_network_shrinks_sfc_advantage(self):
+        """SFC's rank locality pays on the hierarchical network; on a
+        flat network the SFC-vs-RB gap must narrow (or reverse)."""
+        out = network_ablation(ne=4, nproc=48, methods=("sfc", "rb"))
+        gap_p690 = (
+            out["sfc"]["p690"].speedup / out["rb"]["p690"].speedup
+        )
+        gap_flat = (
+            out["sfc"]["flat"].speedup / out["rb"]["flat"].speedup
+        )
+        assert gap_flat <= gap_p690 + 0.02
+
+
+class TestGapStudy:
+    @pytest.mark.slow
+    def test_paper_comparison_points(self):
+        points = hilbert_peano_gap_study(elems_per_proc=4)
+        ks = {p.k: p for p in points}
+        assert 384 in ks and 1944 in ks
+        # Paper: both show an SFC advantage at 4 elements/processor.
+        assert ks[384].advantage > 0
+        assert ks[1944].advantage > 0

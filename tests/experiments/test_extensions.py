@@ -1,0 +1,77 @@
+"""Unit tests for the extension experiments (small configurations)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.convergence import transport_convergence
+from repro.experiments.future_scaling import future_scaling_study, scaled_p690
+from repro.experiments.sensitivity import network_sensitivity
+from repro.machine.spec import P690_CLUSTER
+
+
+class TestScaledMachine:
+    def test_raises_job_limit_only(self):
+        m = scaled_p690(2048)
+        assert m.max_procs == 2048
+        assert m.procs_per_node == P690_CLUSTER.procs_per_node
+        assert m.sustained_flops == P690_CLUSTER.sustained_flops
+
+    def test_name_marks_hypothetical(self):
+        assert "hypothetical" in scaled_p690(1024).name
+
+
+class TestFutureScaling:
+    def test_small_sweep(self):
+        points = future_scaling_study(ne=8, max_procs=384)
+        assert points
+        for p in points:
+            assert p.k == 384
+            assert p.nproc * p.elems_per_proc == p.k
+            assert 0 < p.parallel_efficiency <= 1.0
+
+    def test_nproc_filter(self):
+        points = future_scaling_study(ne=8, max_procs=384, min_elems_per_proc=4)
+        assert all(p.elems_per_proc >= 4 for p in points)
+        assert all(p.nproc > 128 for p in points)
+
+
+class TestSensitivity:
+    def test_grid_shape(self):
+        points = network_sensitivity(
+            ne=4,
+            nproc=48,
+            latency_scales=(0.5, 2.0),
+            bandwidth_scales=(1.0,),
+        )
+        assert len(points) == 2
+        scales = {(p.latency_scale, p.bandwidth_scale) for p in points}
+        assert scales == {(0.5, 1.0), (2.0, 1.0)}
+
+    def test_advantage_definition(self):
+        points = network_sensitivity(
+            ne=4, nproc=48, latency_scales=(1.0,), bandwidth_scales=(1.0,)
+        )
+        p = points[0]
+        assert p.advantage == pytest.approx(
+            p.sfc_speedup / p.best_metis_speedup - 1.0
+        )
+
+    def test_slower_network_slower_everything(self):
+        fast, slow = network_sensitivity(
+            ne=4, nproc=48, latency_scales=(0.5, 5.0), bandwidth_scales=(1.0,)
+        )
+        assert slow.sfc_speedup < fast.sfc_speedup
+
+
+class TestConvergenceStudy:
+    def test_points_and_dof(self):
+        points = transport_convergence(nes=(2,), npts_list=(4, 6), angle=0.2)
+        assert len(points) == 2
+        assert points[0].dof == 6 * (2 * 3) ** 2 + 2
+        assert points[1].dof > points[0].dof
+
+    def test_error_decreases_with_order(self):
+        points = transport_convergence(nes=(2,), npts_list=(4, 8), angle=0.3)
+        by_np = {p.npts: p.norms.l2 for p in points}
+        assert by_np[8] < by_np[4]

@@ -1,0 +1,71 @@
+"""Unit tests for Table 1 (SEAM test resolutions)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.resolutions import (
+    PAPER_RESOLUTIONS,
+    Resolution,
+    admissible_nprocs,
+    resolution_by_k,
+)
+
+
+class TestTable1:
+    def test_the_four_paper_rows(self):
+        rows = {r.k: r for r in PAPER_RESOLUTIONS}
+        assert set(rows) == {384, 486, 1536, 1944}
+        assert rows[384].ne == 8
+        assert rows[486].ne == 9
+        assert rows[1536].ne == 16
+        assert rows[1944].ne == 18
+
+    def test_curve_levels_match_table1(self):
+        """Hilbert / m-Peano levels of each resolution (Table 1)."""
+        expect = {
+            384: (3, 0),
+            486: (0, 2),
+            1536: (4, 0),
+            1944: (1, 2),
+        }
+        for r in PAPER_RESOLUTIONS:
+            assert (r.hilbert_level, r.peano_level) == expect[r.k]
+
+    def test_curve_families(self):
+        fams = {r.k: r.curve_family for r in PAPER_RESOLUTIONS}
+        assert fams == {
+            384: "hilbert",
+            486: "m-peano",
+            1536: "hilbert",
+            1944: "hilbert-peano",
+        }
+
+    def test_schedules(self):
+        assert resolution_by_k(1944).schedule == "PPH"
+        assert resolution_by_k(384).schedule == "HHH"
+
+    def test_lookup_error(self):
+        with pytest.raises(KeyError):
+            resolution_by_k(100)
+
+
+class TestNprocs:
+    def test_divisors_only(self):
+        for n in admissible_nprocs(384):
+            assert 384 % n == 0
+
+    def test_cap_applied(self):
+        assert max(admissible_nprocs(1536, 768)) == 768
+        assert 1536 not in admissible_nprocs(1536, 768)
+
+    def test_paper_endpoints(self):
+        assert admissible_nprocs(384)[-1] == 384
+        assert admissible_nprocs(486)[-1] == 486
+        # K=1944: the largest divisor within the 768-proc job limit.
+        assert admissible_nprocs(1944)[-1] == 648
+
+    def test_resolution_nprocs_method(self):
+        r = Resolution(ne=8)
+        assert r.nprocs() == admissible_nprocs(384)
+        assert r.nprocs()[0] == 1

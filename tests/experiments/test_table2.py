@@ -1,0 +1,55 @@
+"""Unit tests for the Table 2 experiment (shape assertions vs paper)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.table2 import render_table2, table2
+
+
+@pytest.fixture(scope="module")
+def rows():
+    # Scaled-down Table 2 (same 2-elements-per-processor regime as the
+    # paper's K=1536 / 768 procs, but fast enough for unit testing).
+    return table2(ne=8, nproc=192)
+
+
+class TestTable2Shape:
+    def test_method_order(self, rows):
+        assert [r.method for r in rows] == ["SFC", "KWAY", "TV", "RB"]
+
+    def test_sfc_perfectly_balanced(self, rows):
+        sfc = rows[0]
+        assert sfc.lb_nelemd == 0.0
+        assert sfc.lb_spcv < 0.05
+
+    def test_metis_imbalanced_at_two_elements_per_proc(self, rows):
+        """The paper's central observation."""
+        by = {r.method: r for r in rows}
+        assert by["KWAY"].lb_nelemd > 0.2
+        assert by["TV"].lb_nelemd > 0.2
+
+    def test_kway_minimizes_edgecut(self, rows):
+        by = {r.method: r for r in rows}
+        assert by["KWAY"].edgecut <= min(r.edgecut for r in rows)
+
+    def test_sfc_fastest(self, rows):
+        sfc_time = rows[0].time_us
+        assert all(sfc_time <= r.time_us for r in rows[1:])
+
+    def test_load_balance_correlates_with_time(self, rows):
+        """'Note how reductions in LB(nelemd) correlate to reduction in
+        the execution time per time-step.'"""
+        by_lb = sorted(rows, key=lambda r: r.lb_nelemd)
+        assert by_lb[0].time_us == min(r.time_us for r in rows)
+
+    def test_tcv_positive(self, rows):
+        assert all(r.tcv_mbytes > 0 for r in rows)
+
+
+class TestRender:
+    def test_render_contains_all_metrics(self, rows):
+        text = render_table2(rows, k=384, nproc=192)
+        for token in ("LB(nelemd)", "LB(spcv)", "TCV", "edgecut", "Time"):
+            assert token in text
+        assert "K=384" in text

@@ -1,0 +1,119 @@
+"""Unit tests for synthetic graph generators."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs import is_connected
+from repro.graphs.generators import caterpillar, grid_2d, random_geometric, torus_2d
+
+
+class TestGrid:
+    def test_counts(self):
+        g = grid_2d(4, 5)
+        assert g.nvertices == 20
+        assert g.nedges == 3 * 5 + 4 * 4
+        g.validate()
+
+    def test_degrees(self):
+        g = grid_2d(3, 3)
+        deg = sorted(g.degrees().tolist())
+        assert deg == [2, 2, 2, 2, 3, 3, 3, 3, 4]
+
+    def test_connected(self):
+        assert is_connected(grid_2d(6, 7))
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            grid_2d(0, 3)
+
+
+class TestTorus:
+    def test_regular_degree_four(self):
+        g = torus_2d(4, 5)
+        assert (g.degrees() == 4).all()
+        g.validate()
+
+    def test_edge_count(self):
+        g = torus_2d(5, 5)
+        assert g.nedges == 2 * 25
+
+    def test_connected(self):
+        assert is_connected(torus_2d(3, 4))
+
+    def test_small_sizes_rejected(self):
+        with pytest.raises(ValueError, match=">= 3"):
+            torus_2d(2, 5)
+
+
+class TestRandomGeometric:
+    def test_connected_by_default(self):
+        g = random_geometric(60, radius=0.12, seed=0)
+        assert is_connected(g)
+        g.validate()
+
+    def test_deterministic(self):
+        a = random_geometric(30, 0.2, seed=4)
+        b = random_geometric(30, 0.2, seed=4)
+        np.testing.assert_array_equal(a.indices, b.indices)
+
+    def test_radius_controls_density(self):
+        sparse = random_geometric(50, 0.1, seed=1)
+        dense = random_geometric(50, 0.3, seed=1)
+        assert dense.nedges > sparse.nedges
+
+    def test_without_connectivity_fixup(self):
+        g = random_geometric(50, 0.05, seed=2, ensure_connected=False)
+        g.validate()  # may be disconnected, must still be well-formed
+
+
+class TestCaterpillar:
+    def test_counts(self):
+        g = caterpillar(spine=4, legs=3)
+        assert g.nvertices == 16
+        assert g.nedges == 3 + 12
+        g.validate()
+
+    def test_leaves_have_degree_one(self):
+        g = caterpillar(5, 2)
+        deg = g.degrees()
+        assert (deg == 1).sum() == 10
+
+    def test_connected(self):
+        assert is_connected(caterpillar(6, 4))
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            caterpillar(1, 2)
+
+
+class TestPartitionersOnGenerators:
+    """The METIS pipeline must behave on non-cubed-sphere topologies."""
+
+    @pytest.mark.parametrize(
+        "graph",
+        [grid_2d(8, 8), torus_2d(6, 6), random_geometric(64, 0.18, seed=0),
+         caterpillar(16, 3)],
+        ids=["grid", "torus", "geometric", "caterpillar"],
+    )
+    @pytest.mark.parametrize("method", ["rb", "kway"])
+    def test_valid_partitions(self, graph, method):
+        from repro.metis import part_graph
+        from repro.partition import evaluate_partition
+
+        p = part_graph(graph, 8, method, seed=0)
+        q = evaluate_partition(graph, p)
+        assert q.nelemd.sum() == graph.nvertices
+        assert q.lb_nelemd < 0.5
+
+    def test_torus_cut_exceeds_grid_cut(self):
+        """Periodicity leaves no boundary to hide the cut at."""
+        from repro.metis import part_graph
+        from repro.partition import weighted_edgecut
+
+        grid = grid_2d(8, 8)
+        torus = torus_2d(8, 8)
+        cut_grid = weighted_edgecut(grid, part_graph(grid, 4, "rb", seed=0))
+        cut_torus = weighted_edgecut(torus, part_graph(torus, 4, "rb", seed=0))
+        assert cut_torus > cut_grid

@@ -1,0 +1,101 @@
+"""Unit tests for METIS-format graph I/O."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import graph_from_edges, mesh_graph
+from repro.graphs.io import read_metis_graph, write_metis_graph
+
+
+def make_graph():
+    return graph_from_edges(
+        4,
+        np.array([(0, 1), (1, 2), (2, 3), (0, 3)]),
+        eweights=[2, 3, 4, 5],
+        vweights=[10, 20, 30, 40],
+    )
+
+
+class TestRoundtrip:
+    def test_small_graph(self, tmp_path):
+        g = make_graph()
+        path = tmp_path / "g.graph"
+        write_metis_graph(g, path)
+        h = read_metis_graph(path)
+        h.validate()
+        assert h.nvertices == g.nvertices
+        assert h.nedges == g.nedges
+        np.testing.assert_array_equal(h.vweights, g.vweights)
+        np.testing.assert_array_equal(h.indptr, g.indptr)
+        np.testing.assert_array_equal(h.indices, g.indices)
+        np.testing.assert_array_equal(h.eweights, g.eweights)
+
+    def test_mesh_graph_roundtrip(self, tmp_path, mesh4):
+        g = mesh_graph(mesh4)
+        path = tmp_path / "cs.graph"
+        write_metis_graph(g, path)
+        h = read_metis_graph(path)
+        assert h.nedges == g.nedges
+        np.testing.assert_array_equal(h.eweights, g.eweights)
+
+
+class TestFormats:
+    def test_unweighted(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("3 2\n2\n1 3\n2\n")
+        g = read_metis_graph(path)
+        assert g.nedges == 2
+        assert (g.vweights == 1).all()
+        assert (g.eweights == 1).all()
+
+    def test_edge_weights_only(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("2 1 001\n2 9\n1 9\n")
+        g = read_metis_graph(path)
+        assert g.eweights.tolist() == [9, 9]
+
+    def test_vertex_weights_only(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("2 1 010\n4 2\n6 1\n")
+        g = read_metis_graph(path)
+        assert g.vweights.tolist() == [4, 6]
+
+    def test_comments_skipped(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("% header comment\n2 1\n2\n1\n")
+        g = read_metis_graph(path)
+        assert g.nedges == 1
+
+
+class TestErrors:
+    def test_empty_file(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("")
+        with pytest.raises(ValueError, match="empty"):
+            read_metis_graph(path)
+
+    def test_wrong_line_count(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("3 1\n2\n1\n")
+        with pytest.raises(ValueError, match="vertex lines"):
+            read_metis_graph(path)
+
+    def test_edge_count_mismatch(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("2 5\n2\n1\n")
+        with pytest.raises(ValueError, match="edges"):
+            read_metis_graph(path)
+
+    def test_asymmetric_weights(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("2 1 001\n2 3\n1 4\n")
+        with pytest.raises(ValueError, match="asymmetric"):
+            read_metis_graph(path)
+
+    def test_vertex_sizes_unsupported(self, tmp_path):
+        path = tmp_path / "g.graph"
+        path.write_text("2 1 100\n1 2\n1 1\n")
+        with pytest.raises(ValueError, match="vertex sizes"):
+            read_metis_graph(path)

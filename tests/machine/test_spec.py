@@ -1,0 +1,50 @@
+"""Unit tests for the machine description."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.machine.spec import FLAT_NETWORK_MACHINE, P690_CLUSTER, NetworkParams
+
+
+class TestNetworkParams:
+    def test_message_time(self):
+        net = NetworkParams(latency_s=1e-5, bandwidth_Bps=1e8)
+        assert net.message_time(0) == 1e-5
+        assert net.message_time(1e8) == pytest.approx(1.0 + 1e-5)
+
+
+class TestP690:
+    def test_paper_constants(self):
+        """Values quoted in the paper's Sec. 4."""
+        assert P690_CLUSTER.peak_flops == 5.2e9
+        assert P690_CLUSTER.sustained_flops == 841e6
+        assert P690_CLUSTER.max_procs == 768
+        assert P690_CLUSTER.procs_per_node == 8
+        # "841 Mflops amounts to 16% of peak".
+        assert P690_CLUSTER.sustained_fraction() == pytest.approx(0.16, abs=0.005)
+
+    def test_node_mapping(self):
+        assert P690_CLUSTER.node_of(0) == 0
+        assert P690_CLUSTER.node_of(7) == 0
+        assert P690_CLUSTER.node_of(8) == 1
+        assert P690_CLUSTER.node_of(767) == 95
+
+    def test_link_selection(self):
+        assert P690_CLUSTER.link(0, 7) is P690_CLUSTER.intra_node
+        assert P690_CLUSTER.link(0, 8) is P690_CLUSTER.inter_node
+        assert P690_CLUSTER.link(9, 10) is P690_CLUSTER.intra_node
+
+    def test_intra_node_faster(self):
+        msg = 10_000
+        assert P690_CLUSTER.intra_node.message_time(
+            msg
+        ) < P690_CLUSTER.inter_node.message_time(msg)
+
+
+class TestFlatCounterfactual:
+    def test_single_tier(self):
+        assert FLAT_NETWORK_MACHINE.link(0, 1) == FLAT_NETWORK_MACHINE.link(0, 100)
+
+    def test_same_compute(self):
+        assert FLAT_NETWORK_MACHINE.sustained_flops == P690_CLUSTER.sustained_flops

@@ -1,0 +1,82 @@
+"""Unit tests for graph contraction and the coarsening loop."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graphs.csr import graph_from_edges
+from repro.metis.coarsen import coarsen_to, contract
+from repro.metis.matching import heavy_edge_matching
+from tests.conftest import grid_graph
+
+
+class TestContract:
+    def test_vertex_weight_conserved(self, graph8):
+        match = heavy_edge_matching(graph8, seed=0)
+        level = contract(graph8, match)
+        assert level.graph.total_vweight() == graph8.total_vweight()
+
+    def test_edge_weight_conserved_including_hidden(self, graph8):
+        """Visible coarse edge weight + weight hidden inside coarse
+        vertices = fine edge weight."""
+        match = heavy_edge_matching(graph8, seed=0)
+        level = contract(graph8, match)
+        fine_total = int(graph8.eweights.sum()) // 2
+        coarse_total = int(level.graph.eweights.sum()) // 2
+        hidden = 0
+        for v in range(graph8.nvertices):
+            u = int(match[v])
+            if u > v:
+                nbrs = graph8.neighbors(v).tolist()
+                hidden += int(graph8.neighbor_weights(v)[nbrs.index(u)])
+        assert coarse_total + hidden == fine_total
+
+    def test_mapping_is_onto(self):
+        g = grid_graph(4, 4)
+        match = heavy_edge_matching(g, seed=1)
+        level = contract(g, match)
+        nc = level.graph.nvertices
+        assert set(level.fine_to_coarse.tolist()) == set(range(nc))
+
+    def test_coarse_graph_valid(self, graph4):
+        match = heavy_edge_matching(graph4, seed=0)
+        level = contract(graph4, match)
+        level.graph.validate()
+
+    def test_parallel_edges_merged(self):
+        # Square 0-1-2-3: matching (0,1) and (2,3) creates two coarse
+        # vertices joined by two fine edges that must merge to weight 2.
+        g = graph_from_edges(4, np.array([(0, 1), (1, 2), (2, 3), (3, 0)]))
+        match = np.array([1, 0, 3, 2])
+        level = contract(g, match)
+        assert level.graph.nvertices == 2
+        assert level.graph.nedges == 1
+        assert level.graph.eweights[0] == 2
+
+    def test_matched_pair_weight_summed(self):
+        g = graph_from_edges(2, np.array([(0, 1)]), vweights=[3, 4])
+        level = contract(g, np.array([1, 0]))
+        assert level.graph.nvertices == 1
+        assert level.graph.vweights[0] == 7
+        assert level.graph.nedges == 0
+
+
+class TestCoarsenTo:
+    def test_reaches_target(self, graph8):
+        levels = coarsen_to(graph8, 64, seed=0)
+        assert levels
+        assert levels[-1].graph.nvertices <= 64 * 2  # may stall slightly above
+        sizes = [lv.graph.nvertices for lv in levels]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_no_levels_when_small_enough(self, graph4):
+        assert coarsen_to(graph4, 200, seed=0) == []
+
+    def test_weight_conserved_through_hierarchy(self, graph8):
+        levels = coarsen_to(graph8, 32, seed=0)
+        for lv in levels:
+            assert lv.graph.total_vweight() == graph8.total_vweight()
+
+    def test_all_levels_valid(self, graph8):
+        for lv in coarsen_to(graph8, 32, seed=0):
+            lv.graph.validate()

@@ -1,0 +1,62 @@
+"""Unit tests for multilevel K-way partitioning (KWAY/TV)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metis.bisection import recursive_bisection
+from repro.metis.kway import multilevel_kway
+from repro.metis.refine import balance_constraint
+from repro.partition.metrics import evaluate_partition
+
+
+class TestKway:
+    @pytest.mark.parametrize("nparts", [2, 4, 8, 16, 48])
+    def test_valid_assignments(self, graph8, nparts):
+        p = multilevel_kway(graph8, nparts, seed=0)
+        assert p.nparts == nparts
+        assert p.nvertices == 384
+        # every vertex assigned in range (Partition enforces)
+
+    def test_balance_constraint_honored(self, graph8):
+        for nparts in (8, 48, 96):
+            p = multilevel_kway(graph8, nparts, ubfactor=1.03, seed=0)
+            cap = balance_constraint(384, nparts, 1.03)
+            assert p.part_sizes().max() <= cap
+
+    def test_cut_competitive_with_rb(self, graph8):
+        """KWAY's looser balance must buy an edgecut no worse than RB's
+        (the property the paper's Table 2 relies on)."""
+        kw = evaluate_partition(graph8, multilevel_kway(graph8, 48, seed=0))
+        rb = evaluate_partition(graph8, recursive_bisection(graph8, 48, seed=0))
+        assert kw.weighted_edgecut <= rb.weighted_edgecut * 1.05
+
+    def test_imbalance_at_small_parts(self, graph8):
+        """At 2 elements/processor KWAY trades balance for cut — the
+        paper's central observation about METIS at O(1000) procs."""
+        p = multilevel_kway(graph8, 192, ubfactor=1.03, seed=0)
+        sizes = p.part_sizes()
+        assert sizes.max() == 3  # one extra element somewhere
+
+    def test_tv_objective_label(self, graph8):
+        p = multilevel_kway(graph8, 16, objective="volume", seed=0)
+        assert p.method == "tv"
+        p = multilevel_kway(graph8, 16, objective="cut", seed=0)
+        assert p.method == "kway"
+
+    def test_deterministic(self, graph8):
+        a = multilevel_kway(graph8, 24, seed=9)
+        b = multilevel_kway(graph8, 24, seed=9)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    def test_seed_sensitivity(self, graph8):
+        a = multilevel_kway(graph8, 24, seed=1)
+        b = multilevel_kway(graph8, 24, seed=2)
+        assert not np.array_equal(a.assignment, b.assignment)
+
+    def test_errors(self, graph8):
+        with pytest.raises(ValueError):
+            multilevel_kway(graph8, 0)
+        with pytest.raises(ValueError):
+            multilevel_kway(graph8, 385)

@@ -1,0 +1,108 @@
+"""Property-based tests for the full METIS-style pipeline.
+
+Hypothesis generates random connected weighted graphs; every partition
+the pipeline emits must satisfy the structural invariants regardless of
+topology, weights, seed, or part count.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.graphs.csr import CSRGraph, graph_from_edges
+from repro.metis import part_graph
+from repro.metis.refine import balance_constraint
+from repro.partition.metrics import evaluate_partition
+
+
+@st.composite
+def connected_graphs(draw) -> CSRGraph:
+    """Random connected graph: a spanning path plus random chords."""
+    n = draw(st.integers(min_value=4, max_value=40))
+    rng = np.random.default_rng(draw(st.integers(0, 2**31)))
+    perm = rng.permutation(n)
+    edges = {(min(int(a), int(b)), max(int(a), int(b)))
+             for a, b in zip(perm, perm[1:])}
+    extra = draw(st.integers(min_value=0, max_value=3 * n))
+    for _ in range(extra):
+        a, b = rng.integers(n, size=2)
+        if a != b:
+            edges.add((min(int(a), int(b)), max(int(a), int(b))))
+    earr = np.array(sorted(edges), dtype=np.int64)
+    ew = rng.integers(1, 10, size=len(earr)).astype(np.int64)
+    vw = rng.integers(1, 5, size=n).astype(np.int64)
+    return graph_from_edges(n, earr, ew, vw)
+
+
+class TestPipelineInvariants:
+    @settings(max_examples=30, deadline=None)
+    @given(connected_graphs(), st.integers(2, 6), st.integers(0, 99))
+    def test_rb_invariants(self, graph, nparts, seed):
+        nparts = min(nparts, graph.nvertices)
+        p = part_graph(graph, nparts, "rb", seed=seed)
+        assert p.nvertices == graph.nvertices
+        assert (p.part_sizes() > 0).all()  # RB never leaves empties
+        q = evaluate_partition(graph, p)
+        assert 0 <= q.lb_weight < 1
+        assert q.weighted_edgecut <= int(graph.eweights.sum()) // 2
+
+    @settings(max_examples=30, deadline=None)
+    @given(connected_graphs(), st.integers(2, 6), st.integers(0, 99))
+    def test_kway_invariants(self, graph, nparts, seed):
+        nparts = min(nparts, graph.nvertices)
+        p = part_graph(graph, nparts, "kway", seed=seed)
+        assert p.nvertices == graph.nvertices
+        sizes = p.part_sizes()
+        assert sizes.sum() == graph.nvertices
+        # Weight cap holds for every non-empty part.
+        cap = balance_constraint(graph.total_vweight(), nparts, 1.03)
+        weights = p.part_weights(graph.vweights)
+        # Projection from coarse levels can exceed the cap only by one
+        # coarse atom; with our vertex weights <= 4 and pair
+        # contraction, the worst atom is bounded by 2 * max vweight.
+        slack = 2 * int(graph.vweights.max())
+        assert weights.max() <= cap + slack
+
+    @settings(max_examples=15, deadline=None)
+    @given(connected_graphs(), st.integers(0, 9))
+    def test_determinism(self, graph, seed):
+        a = part_graph(graph, 4, "rb", seed=seed)
+        b = part_graph(graph, 4, "rb", seed=seed)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    @settings(max_examples=15, deadline=None)
+    @given(connected_graphs())
+    def test_rb_quality_not_worse_than_strided(self, graph):
+        from repro.partition.block import strided_partition
+        from repro.partition.metrics import weighted_edgecut
+
+        nparts = min(4, graph.nvertices)
+        rb_cut = weighted_edgecut(graph, part_graph(graph, nparts, "rb", seed=0))
+        strided_cut = weighted_edgecut(
+            graph, strided_partition(graph.nvertices, nparts)
+        )
+        assert rb_cut <= strided_cut
+
+
+class TestMetricConsistency:
+    @settings(max_examples=25, deadline=None)
+    @given(connected_graphs(), st.integers(2, 5), st.integers(0, 50))
+    def test_volume_is_twice_cut_weight(self, graph, nparts, seed):
+        """With per-edge exchange, directed volume = 2x cut weight."""
+        nparts = min(nparts, graph.nvertices)
+        p = part_graph(graph, nparts, "rb", seed=seed)
+        q = evaluate_partition(graph, p)
+        assert q.total_volume_points == 2 * q.weighted_edgecut
+
+    @settings(max_examples=25, deadline=None)
+    @given(connected_graphs(), st.integers(2, 5))
+    def test_eq1_load_balance_consistency(self, graph, nparts):
+        nparts = min(nparts, graph.nvertices)
+        p = part_graph(graph, nparts, "rb", seed=0)
+        q = evaluate_partition(graph, p)
+        sizes = q.nelemd.astype(float)
+        expect = (sizes.max() - sizes.mean()) / sizes.max()
+        assert q.lb_nelemd == pytest.approx(expect)

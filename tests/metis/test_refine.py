@@ -1,0 +1,154 @@
+"""Unit tests for FM and greedy K-way refinement."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.metis.refine import (
+    balance_constraint,
+    fm_refine_bisection,
+    greedy_kway_refine,
+)
+from tests.conftest import grid_graph, two_cliques
+
+
+def cut_of(graph, assignment):
+    u, v, w = graph.edge_array()
+    return int(w[assignment[u] != assignment[v]].sum())
+
+
+class TestBalanceConstraint:
+    def test_exact_division(self):
+        assert balance_constraint(100, 4, 1.0) == 25
+
+    def test_metis_default_allows_one_extra_atom(self):
+        # 2 elements/processor with 3% tolerance -> cap 3 (the regime
+        # of the paper's Table 2).
+        assert balance_constraint(1536, 768, 1.03) == 3
+
+    def test_never_below_ceiling(self):
+        assert balance_constraint(10, 3, 1.0) == 4
+
+    def test_large_parts(self):
+        assert balance_constraint(960, 10, 1.03) == 99
+
+
+class TestFMBisection:
+    def test_improves_bad_split(self):
+        g = grid_graph(8, 8)
+        # Strided split: terrible cut, perfectly balanced.
+        side = (np.arange(64) % 2).astype(np.int64)
+        before = cut_of(g, side)
+        refined = fm_refine_bisection(g, side, 32, 32)
+        after = cut_of(g, refined)
+        assert after < before
+        assert (refined == 0).sum() == 32
+
+    def test_never_worsens(self):
+        g = two_cliques(6)
+        side = np.array([0] * 6 + [1] * 6, dtype=np.int64)
+        before = cut_of(g, side)  # already optimal (1)
+        refined = fm_refine_bisection(g, side, 6, 6)
+        assert cut_of(g, refined) <= before
+
+    def test_respects_caps(self):
+        g = grid_graph(6, 6)
+        side = (np.arange(36) % 2).astype(np.int64)
+        refined = fm_refine_bisection(g, side, 20, 20)
+        assert (refined == 0).sum() <= 20
+        assert (refined == 1).sum() <= 20
+
+    def test_rebalances_overweight_side(self):
+        g = grid_graph(6, 6)
+        side = np.zeros(36, dtype=np.int64)
+        side[:6] = 1  # left side has 30 > cap 18
+        refined = fm_refine_bisection(g, side, 18, 18)
+        assert (refined == 0).sum() <= 18
+        assert (refined == 1).sum() <= 18
+
+    def test_input_not_mutated(self):
+        g = grid_graph(4, 4)
+        side = (np.arange(16) % 2).astype(np.int64)
+        copy = side.copy()
+        fm_refine_bisection(g, side, 8, 8)
+        np.testing.assert_array_equal(side, copy)
+
+
+class TestGreedyKway:
+    def test_improves_random_partition(self):
+        g = grid_graph(8, 8)
+        rng = np.random.default_rng(0)
+        assignment = rng.permutation(np.arange(64) % 4).astype(np.int64)
+        before = cut_of(g, assignment)
+        refined = greedy_kway_refine(g, assignment, 4, ubfactor=1.03, seed=0)
+        assert cut_of(g, refined) < before
+
+    def test_zero_gain_plateau_left_alone(self):
+        """Greedy refinement (like METIS's) cannot escape an
+        all-zero-gain plateau — documented, authentic behaviour."""
+        g = grid_graph(8, 8)
+        assignment = (np.arange(64) % 4).astype(np.int64)
+        refined = greedy_kway_refine(g, assignment, 4, ubfactor=1.03, seed=0)
+        assert cut_of(g, refined) <= cut_of(g, assignment)
+
+    def test_balance_cap_respected(self):
+        g = grid_graph(8, 8)
+        assignment = (np.arange(64) % 4).astype(np.int64)
+        refined = greedy_kway_refine(g, assignment, 4, ubfactor=1.03, seed=0)
+        cap = balance_constraint(64, 4, 1.03)
+        sizes = np.bincount(refined, minlength=4)
+        assert sizes.max() <= cap
+
+    def test_drains_overfull_part(self):
+        # Part 0 owns 30 of 36 cells; part 1 owns a contiguous strip it
+        # can grow from.  Refinement must pull part 0 under the cap.
+        g = grid_graph(6, 6)
+        assignment = np.zeros(36, dtype=np.int64)
+        assignment[30:] = 1  # last column (x = 5)
+        refined = greedy_kway_refine(g, assignment, 2, ubfactor=1.03, seed=0)
+        cap = balance_constraint(36, 2, 1.03)
+        assert np.bincount(refined, minlength=2).max() <= cap
+
+    def test_volume_objective_runs_and_respects_balance(self):
+        g = grid_graph(8, 8)
+        assignment = (np.arange(64) % 4).astype(np.int64)
+        refined = greedy_kway_refine(
+            g, assignment, 4, ubfactor=1.03, objective="volume", seed=0
+        )
+        cap = balance_constraint(64, 4, 1.03)
+        assert np.bincount(refined, minlength=4).max() <= cap
+
+    def test_volume_objective_reduces_count_volume(self):
+        from repro.partition.base import Partition
+        from repro.partition.metrics import communication_pattern
+
+        def count_volume(assignment, nparts):
+            p = Partition(assignment, nparts=nparts)
+            comm = communication_pattern(g, p)
+            # METIS unit-size volume: distinct external parts per vertex.
+            total = 0
+            a = p.assignment
+            for v in range(g.nvertices):
+                ext = {int(a[u]) for u in g.neighbors(v)} - {int(a[v])}
+                total += len(ext)
+            return total
+
+        g = grid_graph(8, 8)
+        assignment = (np.arange(64) % 4).astype(np.int64)
+        refined = greedy_kway_refine(
+            g, assignment, 4, ubfactor=1.03, objective="volume", seed=0
+        )
+        assert count_volume(refined, 4) < count_volume(assignment, 4)
+
+    def test_unknown_objective(self):
+        g = grid_graph(2, 2)
+        with pytest.raises(ValueError, match="objective"):
+            greedy_kway_refine(g, np.zeros(4, dtype=np.int64), 1, objective="x")
+
+    def test_input_not_mutated(self):
+        g = grid_graph(4, 4)
+        assignment = (np.arange(16) % 2).astype(np.int64)
+        copy = assignment.copy()
+        greedy_kway_refine(g, assignment, 2, seed=0)
+        np.testing.assert_array_equal(assignment, copy)

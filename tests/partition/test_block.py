@@ -1,0 +1,63 @@
+"""Unit tests for the trivial baseline partitioners."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.partition.block import block_partition, random_partition, strided_partition
+from repro.partition.metrics import load_balance
+
+
+class TestBlock:
+    def test_contiguous(self):
+        p = block_partition(10, 2)
+        assert p.assignment.tolist() == [0] * 5 + [1] * 5
+
+    def test_remainder(self):
+        p = block_partition(10, 3)
+        assert p.part_sizes().tolist() == [4, 3, 3]
+
+    def test_balance(self):
+        sizes = block_partition(97, 8).part_sizes()
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            block_partition(4, 5)
+        with pytest.raises(ValueError):
+            block_partition(4, 0)
+
+
+class TestStrided:
+    def test_round_robin(self):
+        p = strided_partition(6, 3)
+        assert p.assignment.tolist() == [0, 1, 2, 0, 1, 2]
+
+    def test_perfectly_balanced(self):
+        assert load_balance(strided_partition(100, 7).part_sizes()) < 0.15
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            strided_partition(2, 3)
+
+
+class TestRandom:
+    def test_balanced(self):
+        sizes = random_partition(100, 8, seed=0).part_sizes()
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_deterministic_by_seed(self):
+        a = random_partition(50, 5, seed=7)
+        b = random_partition(50, 5, seed=7)
+        np.testing.assert_array_equal(a.assignment, b.assignment)
+
+    def test_seed_changes_result(self):
+        a = random_partition(50, 5, seed=1)
+        b = random_partition(50, 5, seed=2)
+        assert not np.array_equal(a.assignment, b.assignment)
+
+    def test_methods_labeled(self):
+        assert block_partition(4, 2).method == "block"
+        assert strided_partition(4, 2).method == "strided"
+        assert random_partition(4, 2).method == "random"

@@ -1,0 +1,57 @@
+"""Unit tests for recursive coordinate bisection."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.graphs.csr import mesh_graph
+from repro.graphs.traversal import is_connected
+from repro.partition.geometric import rcb_partition
+from repro.partition.metrics import evaluate_partition, load_balance
+
+
+class TestRCB:
+    def test_balance_power_of_two(self):
+        rng = np.random.default_rng(0)
+        pts = rng.standard_normal((64, 3))
+        p = rcb_partition(pts, 8)
+        assert load_balance(p.part_sizes()) == 0.0
+
+    def test_balance_odd_parts(self):
+        rng = np.random.default_rng(1)
+        pts = rng.standard_normal((90, 2))
+        p = rcb_partition(pts, 9)
+        sizes = p.part_sizes()
+        assert sizes.max() - sizes.min() <= 1
+
+    def test_splits_along_widest_axis(self):
+        # Points on a line: RCB must cut across the line.
+        pts = np.stack([np.arange(10.0), np.zeros(10)], axis=1)
+        p = rcb_partition(pts, 2)
+        assert p.assignment.tolist() == [0] * 5 + [1] * 5
+
+    def test_locality_on_cubed_sphere(self, mesh4):
+        """RCB parts should be geometrically compact (connected)."""
+        g = mesh_graph(mesh4)
+        p = rcb_partition(mesh4.centers_xyz, 8)
+        for part in range(8):
+            sub, _ = g.subgraph(p.members(part))
+            assert is_connected(sub)
+
+    def test_beats_random_on_edgecut(self, mesh4, graph4):
+        from repro.partition.block import random_partition
+
+        rcb = evaluate_partition(graph4, rcb_partition(mesh4.centers_xyz, 12))
+        rnd = evaluate_partition(graph4, random_partition(96, 12, seed=0))
+        assert rcb.edgecut < rnd.edgecut
+
+    def test_errors(self):
+        with pytest.raises(ValueError):
+            rcb_partition(np.zeros((4, 2)), 5)
+        with pytest.raises(ValueError):
+            rcb_partition(np.zeros((4, 2)), 0)
+
+    def test_single_part(self):
+        p = rcb_partition(np.zeros((5, 3)), 1)
+        assert (p.assignment == 0).all()

@@ -1,0 +1,123 @@
+"""Unit tests for dynamic SFC repartitioning."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cubesphere import cubed_sphere_curve
+from repro.partition import (
+    LoadTracker,
+    load_balance,
+    migration_cost,
+    repartition_curve,
+    sfc_partition,
+)
+from repro.partition.base import Partition
+
+
+@pytest.fixture(scope="module")
+def curve():
+    return cubed_sphere_curve(4)
+
+
+def moving_weights(curve, center_gid: int, boost: float = 4.0) -> np.ndarray:
+    """Weights with a hotspot around one element (curve-ordered blob)."""
+    n = len(curve)
+    w = np.ones(n)
+    pos = curve.position[center_gid]
+    lo, hi = max(0, pos - 8), min(n, pos + 8)
+    hot = curve.order[lo:hi]
+    w[hot] = boost
+    return w
+
+
+class TestMigrationCost:
+    def test_identical_partitions_cost_nothing(self, curve):
+        p = sfc_partition(4, 12)
+        cost = migration_cost(p, p)
+        assert cost.elements_moved == 0
+        assert cost.fraction_moved == 0.0
+
+    def test_counts_moved_elements(self):
+        a = Partition(np.array([0, 0, 1, 1]), nparts=2)
+        b = Partition(np.array([0, 1, 1, 0]), nparts=2)
+        cost = migration_cost(a, b)
+        assert cost.elements_moved == 2
+        assert cost.fraction_moved == 0.5
+
+    def test_weighted(self):
+        a = Partition(np.array([0, 0, 1]), nparts=2)
+        b = Partition(np.array([0, 1, 1]), nparts=2)
+        cost = migration_cost(a, b, weights=np.array([1.0, 5.0, 1.0]))
+        assert cost.weight_moved == 5.0
+
+    def test_size_mismatch(self):
+        a = Partition(np.array([0]), nparts=1)
+        b = Partition(np.array([0, 0]), nparts=1)
+        with pytest.raises(ValueError, match="different vertex sets"):
+            migration_cost(a, b)
+
+
+class TestRepartitionCurve:
+    def test_balances_new_weights(self, curve):
+        w = moving_weights(curve, center_gid=10)
+        p = repartition_curve(curve, w, 12)
+        loads = np.bincount(p.assignment, weights=w, minlength=12)
+        assert load_balance(loads) < 0.35
+
+    def test_method_label(self, curve):
+        p = repartition_curve(curve, np.ones(len(curve)), 8)
+        assert p.method == "sfc-rebal"
+
+    def test_small_weight_change_small_migration(self, curve):
+        """The SFC rebalancing selling point: cuts only shift."""
+        w1 = moving_weights(curve, center_gid=10)
+        w2 = moving_weights(curve, center_gid=14)  # hotspot drifts
+        p1 = repartition_curve(curve, w1, 12)
+        p2 = repartition_curve(curve, w2, 12)
+        cost = migration_cost(p1, p2)
+        assert cost.fraction_moved < 0.25
+
+    def test_migration_beats_fresh_metis(self, curve):
+        """Re-cutting the curve migrates far fewer elements than a
+        from-scratch graph partition of the same weights."""
+        from repro.graphs import mesh_graph
+        from repro.metis import part_graph
+
+        w1 = moving_weights(curve, 10)
+        w2 = moving_weights(curve, 14)
+        p1 = repartition_curve(curve, w1, 12)
+        p2 = repartition_curve(curve, w2, 12)
+        sfc_cost = migration_cost(p1, p2)
+        g = mesh_graph(curve.mesh, vweights=np.round(w2).astype(np.int64))
+        metis_new = part_graph(g, 12, "kway", seed=0)
+        metis_cost = migration_cost(p1, metis_new)
+        assert sfc_cost.fraction_moved < metis_cost.fraction_moved
+
+    def test_migration_monotone_with_hotspot_speed(self, curve):
+        w0 = moving_weights(curve, 10)
+        p0 = repartition_curve(curve, w0, 12)
+        costs = []
+        for target in (12, 30):
+            p = repartition_curve(curve, moving_weights(curve, target), 12)
+            costs.append(migration_cost(p0, p).elements_moved)
+        assert costs[0] <= costs[1]
+
+
+class TestLoadTracker:
+    def test_history_records_balance_and_migration(self, curve):
+        tracker = LoadTracker(curve, nparts=12)
+        for center in (5, 9, 13, 17):
+            tracker.update(moving_weights(curve, center))
+        assert len(tracker.history) == 4
+        assert tracker.history[0]["elements_moved"] == 0.0
+        for entry in tracker.history[1:]:
+            assert entry["elements_moved"] >= 0
+            assert entry["lb"] < 0.5
+
+    def test_current_partition_valid(self, curve):
+        tracker = LoadTracker(curve, nparts=8)
+        p = tracker.update(np.ones(len(curve)))
+        p.validate()
+        assert tracker.current is p

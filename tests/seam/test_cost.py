@@ -1,0 +1,51 @@
+"""Unit tests for the SEAM cost model."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.seam.cost import DEFAULT_COST_MODEL, SEAMCostModel
+
+
+class TestFlops:
+    def test_rhs_flops_formula(self):
+        m = SEAMCostModel(npts=8, nlev=1, nvars=1, seam_complexity=1.0, pointwise_ops=0)
+        # Two derivative contractions of 2*8^3 each.
+        assert m.flops_per_rhs_per_element() == 4 * 512
+
+    def test_scales_linearly_with_levels_and_vars(self):
+        base = SEAMCostModel(nlev=1, nvars=1)
+        assert SEAMCostModel(nlev=5, nvars=1).flops_per_rhs_per_element() == (
+            5 * base.flops_per_rhs_per_element()
+        )
+        assert SEAMCostModel(nlev=1, nvars=4).flops_per_rhs_per_element() == (
+            4 * base.flops_per_rhs_per_element()
+        )
+
+    def test_step_includes_rk_stages(self):
+        m = DEFAULT_COST_MODEL
+        assert m.flops_per_step_per_element() > (
+            m.rk_stages * m.flops_per_rhs_per_element()
+        )
+
+    def test_step_flops_scales_with_elements(self):
+        m = DEFAULT_COST_MODEL
+        assert m.step_flops(384) == pytest.approx(384 * m.flops_per_step_per_element())
+
+    def test_complexity_multiplier(self):
+        lo = SEAMCostModel(seam_complexity=1.0)
+        hi = SEAMCostModel(seam_complexity=4.0)
+        assert hi.flops_per_rhs_per_element() == 4 * lo.flops_per_rhs_per_element()
+
+
+class TestBytes:
+    def test_bytes_per_point(self):
+        m = SEAMCostModel(nlev=20, nvars=3, bytes_per_value=8)
+        assert m.bytes_per_point() == 480
+
+    def test_default_exchanges_match_rk(self):
+        assert DEFAULT_COST_MODEL.exchanges_per_step() == 3
+
+    def test_default_matches_seam(self):
+        assert DEFAULT_COST_MODEL.npts == 8
+        assert DEFAULT_COST_MODEL.nvars == 3

@@ -1,0 +1,72 @@
+"""Unit tests for error norms and conservation diagnostics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.seam import DSSOperator, build_geometry, conservation_drift, error_norms
+
+
+@pytest.fixture(scope="module")
+def dss():
+    return DSSOperator(build_geometry(2, 4))
+
+
+class TestErrorNorms:
+    def test_zero_error(self, dss):
+        q = np.ones(dss.local_mass.shape)
+        norms = error_norms(dss, q, q)
+        assert norms.l1 == norms.l2 == norms.linf == 0.0
+
+    def test_constant_offset(self, dss):
+        ref = np.ones(dss.local_mass.shape)
+        q = ref + 0.1
+        norms = error_norms(dss, q, ref)
+        assert norms.l1 == pytest.approx(0.1, rel=1e-12)
+        assert norms.l2 == pytest.approx(0.1, rel=1e-12)
+        assert norms.linf == pytest.approx(0.1, rel=1e-12)
+
+    def test_norm_ordering(self, dss, rng):
+        ref = 1.0 + 0.1 * rng.standard_normal(dss.local_mass.shape)
+        q = ref + 0.05 * rng.standard_normal(ref.shape)
+        norms = error_norms(dss, q, ref)
+        # For normalized norms of a rough error field: l1 <= l2 <= linf
+        # is typical (Cauchy-Schwarz on the probability measure).
+        assert norms.l1 <= norms.l2 * 1.001
+        assert norms.l2 <= norms.linf * 1.001
+
+    def test_shape_mismatch(self, dss):
+        with pytest.raises(ValueError, match="same shape"):
+            error_norms(
+                dss,
+                np.ones(dss.local_mass.shape),
+                np.ones((1, 2, 2)),
+            )
+
+    def test_zero_reference_rejected(self, dss):
+        z = np.zeros(dss.local_mass.shape)
+        with pytest.raises(ValueError, match="nonzero"):
+            error_norms(dss, z, z)
+
+    def test_as_row(self, dss):
+        q = np.ones(dss.local_mass.shape)
+        row = error_norms(dss, q + 1e-3, q).as_row()
+        assert len(row) == 3
+        assert all("e-" in s for s in row)
+
+
+class TestConservationDrift:
+    def test_no_drift(self, dss):
+        q = np.full(dss.local_mass.shape, 2.0)
+        assert conservation_drift(dss, q, q) == 0.0
+
+    def test_relative_drift(self, dss):
+        q0 = np.ones(dss.local_mass.shape)
+        q1 = 1.01 * q0
+        assert conservation_drift(dss, q0, q1) == pytest.approx(0.01, rel=1e-10)
+
+    def test_zero_initial_rejected(self, dss):
+        z = np.zeros(dss.local_mass.shape)
+        with pytest.raises(ValueError, match="zero"):
+            conservation_drift(dss, z, z)

@@ -1,0 +1,89 @@
+"""Unit tests for GLL quadrature and spectral differentiation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.seam.gll import gll_basis, legendre_and_derivative
+
+
+class TestLegendre:
+    def test_low_degrees(self):
+        x = np.linspace(-1, 1, 7)
+        p0, d0 = legendre_and_derivative(0, x)
+        np.testing.assert_allclose(p0, 1.0)
+        np.testing.assert_allclose(d0, 0.0)
+        p1, d1 = legendre_and_derivative(1, x)
+        np.testing.assert_allclose(p1, x)
+        np.testing.assert_allclose(d1, 1.0)
+        p2, _ = legendre_and_derivative(2, x)
+        np.testing.assert_allclose(p2, 1.5 * x**2 - 0.5)
+
+    def test_endpoint_values(self):
+        for n in range(1, 10):
+            p, dp = legendre_and_derivative(n, np.array([1.0, -1.0]))
+            assert p[0] == pytest.approx(1.0)
+            assert p[1] == pytest.approx((-1.0) ** n)
+            assert dp[0] == pytest.approx(n * (n + 1) / 2)
+
+    def test_matches_numpy_legendre(self):
+        x = np.linspace(-0.99, 0.99, 11)
+        for n in (3, 5, 8):
+            p, dp = legendre_and_derivative(n, x)
+            ref = np.polynomial.legendre.Legendre.basis(n)
+            np.testing.assert_allclose(p, ref(x), atol=1e-12)
+            np.testing.assert_allclose(dp, ref.deriv()(x), atol=1e-10)
+
+
+class TestGLLBasis:
+    @pytest.mark.parametrize("npts", [2, 3, 4, 5, 8, 12, 16])
+    def test_quadrature_exactness(self, npts):
+        """GLL with npts points integrates degree 2*npts-3 exactly."""
+        b = gll_basis(npts)
+        for deg in range(2 * npts - 2):
+            exact = 0.0 if deg % 2 else 2.0 / (deg + 1)
+            assert (b.weights * b.nodes**deg).sum() == pytest.approx(
+                exact, abs=1e-12
+            )
+
+    @pytest.mark.parametrize("npts", [2, 4, 8, 12])
+    def test_differentiation_exact_on_polynomials(self, npts):
+        b = gll_basis(npts)
+        for k in range(npts):
+            d = b.diff @ (b.nodes**k)
+            expect = k * b.nodes ** (k - 1) if k else np.zeros(npts)
+            np.testing.assert_allclose(d, expect, atol=1e-9)
+
+    def test_nodes_symmetric_and_sorted(self):
+        b = gll_basis(8)
+        np.testing.assert_allclose(b.nodes, -b.nodes[::-1], atol=1e-15)
+        assert (np.diff(b.nodes) > 0).all()
+        assert b.nodes[0] == -1.0 and b.nodes[-1] == 1.0
+
+    def test_weights_positive_and_sum_to_two(self):
+        b = gll_basis(9)
+        assert (b.weights > 0).all()
+        assert b.weights.sum() == pytest.approx(2.0)
+
+    def test_seam_configuration(self):
+        """SEAM's np=8 nodes match published values."""
+        b = gll_basis(8)
+        # Interior nodes are the roots of P7'; spot-check the largest.
+        assert b.nodes[6] == pytest.approx(0.8717401485096066, abs=1e-12)
+
+    def test_derivative_annihilates_constants(self):
+        b = gll_basis(6)
+        np.testing.assert_allclose(b.diff @ np.ones(6), 0.0, atol=1e-12)
+
+    def test_cached(self):
+        assert gll_basis(8) is gll_basis(8)
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            gll_basis(1)
+
+    def test_arrays_readonly(self):
+        b = gll_basis(4)
+        with pytest.raises(ValueError):
+            b.nodes[0] = 0.0

@@ -1,0 +1,144 @@
+"""Unit tests for the nonlinear shallow-water solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.seam import build_geometry
+from repro.seam.shallow_water import ShallowWaterSolver, SWState, williamson_tc2
+
+
+@pytest.fixture(scope="module")
+def geom():
+    return build_geometry(3, 6)
+
+
+@pytest.fixture(scope="module")
+def solver(geom):
+    return ShallowWaterSolver(geom)
+
+
+class TestOperators:
+    def test_gradient_of_linear_height_field(self, solver):
+        """grad(z) on the unit sphere is the tangent projection of z."""
+        z = solver.rhat[..., 2]
+        grad = solver.gradient(z)
+        expect = solver.project_tangent(
+            np.broadcast_to([0.0, 0.0, 1.0], solver.rhat.shape)
+        )
+        np.testing.assert_allclose(grad, expect, atol=1e-4)
+        # Spectral convergence: one more order cuts the error sharply.
+        s8 = ShallowWaterSolver(build_geometry(3, 8))
+        g8 = s8.gradient(s8.rhat[..., 2])
+        e8 = s8.project_tangent(
+            np.broadcast_to([0.0, 0.0, 1.0], s8.rhat.shape)
+        )
+        assert np.abs(g8 - e8).max() < np.abs(grad - expect).max() / 10
+
+    def test_gradient_of_constant_is_zero(self, solver):
+        c = np.ones(solver.jac.shape)
+        np.testing.assert_allclose(solver.gradient(c), 0.0, atol=1e-11)
+
+    def test_divergence_of_rotational_field_is_zero(self, solver):
+        """Solid-body rotation is divergence-free."""
+        v = np.cross(np.broadcast_to([0.0, 0.0, 1.0], solver.rhat.shape), solver.rhat)
+        div = solver.divergence(v)
+        assert np.abs(div).max() < 1e-3
+
+    def test_divergence_theorem(self, solver):
+        """Integral of div(v) over the closed sphere vanishes."""
+        rng = np.random.default_rng(0)
+        # A smooth tangent field: gradient of a random low-order
+        # spherical polynomial.
+        x, y, z = (solver.rhat[..., i] for i in range(3))
+        s = 0.3 * x * y + 0.2 * z**2 - 0.1 * x
+        v = solver.gradient(s)
+        total = solver.dss.integrate(solver.divergence(v))
+        assert abs(total) < 1e-8
+        del rng
+
+    def test_advect_scalar_matches_gradient_dot(self, solver):
+        x, y, z = (solver.rhat[..., i] for i in range(3))
+        s = x * z
+        v = np.cross(np.broadcast_to([0.0, 0.0, 1.0], solver.rhat.shape), solver.rhat)
+        a = solver.advect_scalar(v, s)
+        b = np.einsum("...k,...k->...", v, solver.gradient(s))
+        np.testing.assert_allclose(a, b, atol=1e-9)
+
+    def test_project_tangent(self, solver):
+        v = np.ones(solver.rhat.shape)
+        t = solver.project_tangent(v)
+        assert np.abs(np.einsum("...k,...k->...", t, solver.rhat)).max() < 1e-13
+
+
+class TestWilliamsonTC2:
+    def test_initial_state_valid(self, geom):
+        state = williamson_tc2(geom)
+        assert (state.h > 0).all()
+        # Velocity tangent to the sphere.
+        rhat = np.stack([e.xyz for e in geom.elements])
+        assert np.abs(np.einsum("...k,...k->...", state.v, rhat)).max() < 1e-14
+
+    def test_depth_guard(self, geom):
+        with pytest.raises(ValueError, match="h0 too small"):
+            williamson_tc2(geom, u0=2.0, h0=0.5)
+
+    def test_geostrophic_balance_is_discrete_steady_state(self, solver, geom):
+        """The TC2 RHS must be ~zero pointwise (discretization error)."""
+        state = williamson_tc2(geom)
+        rhs = solver.rhs(state)
+        assert np.abs(rhs.h).max() < 1e-3
+        assert np.abs(rhs.v).max() < 1e-3
+
+    def test_remains_steady_under_integration(self, geom):
+        solver = ShallowWaterSolver(geom)
+        state0 = williamson_tc2(geom)
+        state = solver.run(state0, t_end=0.5, cfl=0.4)
+        assert np.abs(state.h - state0.h).max() < 1e-4
+        assert np.abs(state.v - state0.v).max() < 1e-3
+
+    def test_mass_conserved(self, geom):
+        solver = ShallowWaterSolver(geom)
+        state0 = williamson_tc2(geom)
+        m0 = solver.total_mass(state0)
+        state = solver.run(state0, t_end=0.3, cfl=0.4)
+        assert solver.total_mass(state) == pytest.approx(m0, rel=1e-12)
+
+    def test_energy_nearly_conserved(self, geom):
+        solver = ShallowWaterSolver(geom)
+        state0 = williamson_tc2(geom)
+        e0 = solver.total_energy(state0)
+        state = solver.run(state0, t_end=0.3, cfl=0.4)
+        assert solver.total_energy(state) == pytest.approx(e0, rel=1e-8)
+
+
+class TestDynamics:
+    def test_gravity_wave_from_height_bump(self, geom):
+        """A height perturbation at rest must radiate (h changes) while
+        conserving mass."""
+        from repro.seam.transport import cosine_bell
+
+        solver = ShallowWaterSolver(geom, omega=0.0)
+        rhat = np.stack([e.xyz for e in geom.elements])
+        h = 1.0 + 0.01 * cosine_bell(rhat, np.array([1.0, 0, 0]), radius=0.8)
+        state0 = SWState(v=np.zeros_like(rhat), h=h)
+        m0 = solver.total_mass(state0)
+        state = solver.run(state0, t_end=0.3, cfl=0.3)
+        assert np.abs(state.v).max() > 1e-4  # flow developed
+        assert solver.total_mass(state) == pytest.approx(m0, rel=1e-12)
+
+    def test_stable_dt_decreases_with_gravity(self, geom):
+        state = williamson_tc2(geom)
+        lo = ShallowWaterSolver(geom, gravity=1.0).stable_dt(state)
+        hi_state = williamson_tc2(geom, gravity=4.0)
+        hi = ShallowWaterSolver(geom, gravity=4.0).stable_dt(hi_state)
+        assert hi < lo
+
+    def test_rest_state_stays_at_rest(self, geom):
+        solver = ShallowWaterSolver(geom, omega=1.0)
+        rhat = np.stack([e.xyz for e in geom.elements])
+        state0 = SWState(v=np.zeros_like(rhat), h=np.ones(solver.jac.shape))
+        state = solver.run(state0, t_end=0.2, cfl=0.4)
+        assert np.abs(state.v).max() < 1e-10
+        assert np.abs(state.h - 1.0).max() < 1e-10

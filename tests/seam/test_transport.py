@@ -1,0 +1,144 @@
+"""Unit tests for the spectral-element transport solver."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.seam.element import build_geometry
+from repro.seam.transport import (
+    TransportSolver,
+    advect,
+    cosine_bell,
+    rotate_about_axis,
+    solid_body_wind,
+)
+
+Z = np.array([0.0, 0.0, 1.0])
+X = np.array([1.0, 0.0, 0.0])
+
+
+@pytest.fixture(scope="module")
+def geom():
+    return build_geometry(3, 6)
+
+
+def element_xyz(geom):
+    return np.stack([e.xyz for e in geom.elements])
+
+
+class TestFields:
+    def test_solid_body_wind_tangent(self, geom):
+        xyz = element_xyz(geom)
+        u = solid_body_wind(xyz, Z, omega=2.0)
+        assert np.abs(np.einsum("...k,...k->...", u, xyz)).max() < 1e-14
+
+    def test_solid_body_speed(self):
+        # At the equator of the rotation axis, |u| = omega.
+        p = np.array([[1.0, 0.0, 0.0]])
+        u = solid_body_wind(p, Z, omega=3.0)
+        assert np.linalg.norm(u[0]) == pytest.approx(3.0)
+
+    def test_cosine_bell_range_and_support(self, geom):
+        xyz = element_xyz(geom)
+        q = cosine_bell(xyz, X, radius=0.5)
+        assert q.min() >= 0.0
+        # The GLL grid need not sample the exact peak; it must get close.
+        assert 0.8 < q.max() <= 1.0
+        far = xyz[..., 0] < 0  # opposite hemisphere
+        assert np.abs(q[far]).max() == 0.0
+
+    def test_rotate_about_axis(self):
+        p = np.array([[1.0, 0.0, 0.0]])
+        out = rotate_about_axis(p, Z, np.pi / 2)
+        np.testing.assert_allclose(out, [[0.0, 1.0, 0.0]], atol=1e-15)
+
+    def test_rotation_inverse(self, rng):
+        p = rng.standard_normal((20, 3))
+        p /= np.linalg.norm(p, axis=1, keepdims=True)
+        axis = np.array([0.2, 0.5, -0.8])
+        back = rotate_about_axis(rotate_about_axis(p, axis, 1.1), axis, -1.1)
+        np.testing.assert_allclose(back, p, atol=1e-13)
+
+
+class TestSolver:
+    def test_zero_wind_is_identity(self, geom):
+        xyz = element_xyz(geom)
+        solver = TransportSolver(geom, np.zeros_like(xyz))
+        q0 = cosine_bell(xyz, X)
+        q = solver.step(solver.dss.apply(q0), dt=0.1)
+        np.testing.assert_allclose(q, solver.dss.apply(q0), atol=1e-13)
+
+    def test_stable_dt_positive_and_scales(self, geom):
+        xyz = element_xyz(geom)
+        s1 = TransportSolver(geom, solid_body_wind(xyz, Z, 1.0))
+        s2 = TransportSolver(geom, solid_body_wind(xyz, Z, 2.0))
+        assert 0 < s2.stable_dt() < s1.stable_dt()
+
+    def test_zero_wind_infinite_dt(self, geom):
+        xyz = element_xyz(geom)
+        solver = TransportSolver(geom, np.zeros_like(xyz))
+        assert solver.stable_dt() == np.inf
+
+    def test_mass_conservation(self, geom):
+        xyz = element_xyz(geom)
+        wind = solid_body_wind(xyz, Z, 1.0)
+        solver = TransportSolver(geom, wind)
+        q0 = solver.dss.apply(cosine_bell(xyz, X))
+        mass0 = solver.dss.integrate(q0)
+        q = q0
+        dt = solver.stable_dt(0.5)
+        for _ in range(10):
+            q = solver.step(q, dt)
+        assert solver.dss.integrate(q) == pytest.approx(mass0, rel=1e-10)
+
+    def test_solution_stays_continuous(self, geom):
+        xyz = element_xyz(geom)
+        solver = TransportSolver(geom, solid_body_wind(xyz, Z, 1.0))
+        q = solver.run(cosine_bell(xyz, X), t_end=0.3)
+        assert solver.dss.is_continuous(q, atol=1e-10)
+
+    def test_rhs_eval_counter(self, geom):
+        xyz = element_xyz(geom)
+        solver = TransportSolver(geom, solid_body_wind(xyz, Z, 1.0))
+        q = solver.dss.apply(cosine_bell(xyz, X))
+        solver.step(q, 0.01)
+        assert solver.rhs_evals == 3  # SSP RK3
+
+    def test_wrong_wind_shape_rejected(self, geom):
+        with pytest.raises(ValueError, match="shape"):
+            TransportSolver(geom, np.zeros((2, 2, 2, 3)))
+
+
+class TestAccuracy:
+    def test_quarter_rotation_accuracy(self):
+        geom = build_geometry(4, 8)
+        xyz = element_xyz(geom)
+        q0 = cosine_bell(xyz, X)
+        q, departed = advect(geom, Z, np.pi / 2, q0, cfl=0.4)
+        ref = cosine_bell(departed, X)
+        rel_l2 = np.sqrt(((q - ref) ** 2).mean() / (ref**2).mean())
+        assert rel_l2 < 0.03
+
+    def test_spectral_convergence_in_np(self):
+        """Error drops fast as GLL order increases (same elements)."""
+        errs = []
+        for npts in (4, 8):
+            geom = build_geometry(3, npts)
+            xyz = element_xyz(geom)
+            q0 = cosine_bell(xyz, X, radius=0.8)
+            q, departed = advect(geom, Z, 0.5, q0, cfl=0.3)
+            ref = cosine_bell(departed, X, radius=0.8)
+            errs.append(np.sqrt(((q - ref) ** 2).mean()))
+        assert errs[1] < errs[0] / 3
+
+    def test_oblique_axis_rotation(self):
+        """Advection across cube edges and corners (oblique axis)."""
+        geom = build_geometry(4, 8)
+        xyz = element_xyz(geom)
+        axis = np.array([1.0, 1.0, 1.0])
+        q0 = cosine_bell(xyz, X)
+        q, departed = advect(geom, axis, 0.8, q0, cfl=0.4)
+        ref = cosine_bell(departed, X)
+        rel_l2 = np.sqrt(((q - ref) ** 2).mean() / (ref**2).mean())
+        assert rel_l2 < 0.05

@@ -1,0 +1,103 @@
+"""Unit tests for curve locality analysis."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.sfc.analysis import (
+    analyze_curve,
+    neighbor_stretch,
+    segment_bounding_boxes,
+    segment_surface_to_volume,
+)
+from repro.sfc.generator import generate_curve, hilbert_curve
+
+
+class TestSegmentBoundingBoxes:
+    def test_whole_curve_is_one_box(self):
+        c = hilbert_curve(3)
+        boxes = segment_bounding_boxes(c, 1)
+        np.testing.assert_array_equal(boxes[0], [0, 0, 7, 7])
+
+    def test_four_segments_of_level2_hilbert_are_quadrants(self):
+        c = hilbert_curve(2)
+        boxes = segment_bounding_boxes(c, 4)
+        # Each quarter of the curve fills one 2x2 quadrant exactly.
+        areas = (boxes[:, 2] - boxes[:, 0] + 1) * (boxes[:, 3] - boxes[:, 1] + 1)
+        assert (areas == 4).all()
+
+    def test_invalid_nsegments(self):
+        c = hilbert_curve(2)
+        with pytest.raises(ValueError):
+            segment_bounding_boxes(c, 0)
+        with pytest.raises(ValueError):
+            segment_bounding_boxes(c, 17)
+
+
+class TestSurfaceToVolume:
+    def test_single_segment_has_no_boundary(self):
+        c = hilbert_curve(3)
+        s2v = segment_surface_to_volume(c, 1)
+        assert s2v[0] == 0.0
+
+    def test_hilbert_beats_row_major_scan(self):
+        # The defining advantage of SFC partitions: segments are
+        # blockier than scanline segments, so their boundary is
+        # smaller.  Compare against a synthetic row-major "curve".
+        c = hilbert_curve(4)
+        n = c.size
+        hil = segment_surface_to_volume(c, 8).mean()
+        # Build a row-major visit order (not an actual SFC).
+        from dataclasses import replace
+
+        coords = np.array([(x, y) for y in range(n) for x in range(n)])
+        index = np.empty((n, n), dtype=np.int64)
+        index[coords[:, 0], coords[:, 1]] = np.arange(n * n)
+        scan = replace(c, coords=coords, index=index)
+        row = segment_surface_to_volume(scan, 8).mean()
+        assert hil < row
+
+    def test_segments_partition_cells(self):
+        c = generate_curve(size=6)
+        s2v = segment_surface_to_volume(c, 6)
+        assert len(s2v) == 6
+        assert (s2v >= 0).all()
+
+
+class TestNeighborStretch:
+    def test_edge_count(self):
+        c = hilbert_curve(2)
+        stretch = neighbor_stretch(c)
+        # 2 * n * (n-1) undirected grid edges.
+        assert len(stretch) == 2 * 4 * 3
+
+    def test_minimum_stretch_is_one(self):
+        c = hilbert_curve(3)
+        assert neighbor_stretch(c).min() == 1
+
+    def test_stretch_positive(self):
+        c = generate_curve(size=9)
+        assert (neighbor_stretch(c) >= 1).all()
+
+
+class TestAnalyzeCurve:
+    def test_summary_fields(self):
+        c = generate_curve(size=12)
+        loc = analyze_curve(c, nsegments=12)
+        assert loc.schedule == c.schedule
+        assert loc.size == 12
+        assert loc.nsegments == 12
+        assert loc.mean_bbox_aspect >= 1.0
+        assert loc.mean_surface_to_volume > 0
+        assert loc.max_neighbor_stretch >= loc.mean_neighbor_stretch
+
+    def test_default_nsegments_is_size(self):
+        c = hilbert_curve(3)
+        loc = analyze_curve(c)
+        assert loc.nsegments == 8
+
+    def test_trivial_curve(self):
+        c = generate_curve(size=1)
+        loc = analyze_curve(c, nsegments=1)
+        assert loc.max_neighbor_stretch == 0

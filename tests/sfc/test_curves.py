@@ -1,0 +1,98 @@
+"""Unit tests for the base curve templates."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sfc.curves import (
+    HILBERT,
+    MEANDER_PEANO,
+    TEMPLATES,
+    CurveTemplate,
+    template_for_radix,
+)
+from repro.sfc.transforms import IDENTITY, TRANSPOSE
+
+
+class TestRegisteredTemplates:
+    def test_hilbert_shape(self):
+        assert HILBERT.radix == 2
+        assert len(HILBERT.blocks) == 4
+        assert HILBERT.code == "H"
+
+    def test_peano_shape(self):
+        assert MEANDER_PEANO.radix == 3
+        assert len(MEANDER_PEANO.blocks) == 9
+        assert MEANDER_PEANO.code == "P"
+
+    def test_registry_aliases(self):
+        assert TEMPLATES["H"] is HILBERT
+        assert TEMPLATES["hilbert"] is HILBERT
+        assert TEMPLATES["P"] is MEANDER_PEANO
+        assert TEMPLATES["peano"] is MEANDER_PEANO
+
+    def test_template_for_radix(self):
+        assert template_for_radix(2) is HILBERT
+        assert template_for_radix(3) is MEANDER_PEANO
+        with pytest.raises(KeyError):
+            template_for_radix(5)
+
+    def test_hilbert_visit_order_is_the_u_shape(self):
+        assert HILBERT.blocks == ((0, 0), (0, 1), (1, 1), (1, 0))
+
+    def test_peano_blocks_tile_grid(self):
+        assert sorted(MEANDER_PEANO.blocks) == [
+            (x, y) for x in range(3) for y in range(3)
+        ]
+
+
+class TestTemplateValidation:
+    """The constructor must reject malformed templates."""
+
+    def test_wrong_block_count(self):
+        with pytest.raises(ValueError, match="need 4"):
+            CurveTemplate("bad", 2, ((0, 0),), (IDENTITY,))
+
+    def test_blocks_must_tile(self):
+        with pytest.raises(ValueError, match="tile"):
+            CurveTemplate(
+                "bad",
+                2,
+                ((0, 0), (0, 0), (1, 1), (1, 0)),
+                (IDENTITY,) * 4,
+            )
+
+    def test_discontinuous_transforms_rejected(self):
+        # Identity everywhere breaks the child-to-child adjacency.
+        with pytest.raises(ValueError, match="not\\s+adjacent|enter|exit"):
+            CurveTemplate(
+                "bad",
+                2,
+                ((0, 0), (0, 1), (1, 1), (1, 0)),
+                (IDENTITY, IDENTITY, IDENTITY, IDENTITY),
+            )
+
+    def test_wrong_entry_rejected(self):
+        # Swapping the first transform moves the curve entry off (0,0).
+        with pytest.raises(ValueError):
+            CurveTemplate(
+                "bad",
+                2,
+                ((0, 1), (0, 0), (1, 0), (1, 1)),
+                (TRANSPOSE, IDENTITY, IDENTITY, TRANSPOSE),
+            )
+
+
+class TestCanonicalContract:
+    @pytest.mark.parametrize("tpl", [HILBERT, MEANDER_PEANO], ids=lambda t: t.name)
+    def test_entry_exit_under_unit_children(self, tpl):
+        # With child size 1 the blocks themselves are the cells.
+        first = tpl.blocks[0]
+        last = tpl.blocks[-1]
+        assert first == (0, 0)
+        assert last == (tpl.radix - 1, 0)
+
+    @pytest.mark.parametrize("tpl", [HILBERT, MEANDER_PEANO], ids=lambda t: t.name)
+    def test_block_path_is_connected(self, tpl):
+        for (ax, ay), (bx, by) in zip(tpl.blocks, tpl.blocks[1:]):
+            assert abs(ax - bx) + abs(ay - by) == 1

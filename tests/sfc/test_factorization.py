@@ -1,0 +1,89 @@
+"""Unit tests for refinement-schedule factorization."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sfc.factorization import (
+    admissible_sizes,
+    all_schedules,
+    default_schedule,
+    factorize_2_3,
+    is_admissible_size,
+    schedule_size,
+)
+
+
+class TestFactorize:
+    @pytest.mark.parametrize(
+        "n,expected",
+        [(1, (0, 0)), (2, (1, 0)), (3, (0, 1)), (6, (1, 1)), (8, (3, 0)),
+         (9, (0, 2)), (12, (2, 1)), (16, (4, 0)), (18, (1, 2)), (24, (3, 1)),
+         (36, (2, 2)), (1024, (10, 0))],
+    )
+    def test_known_factorizations(self, n, expected):
+        assert factorize_2_3(n) == expected
+
+    @pytest.mark.parametrize("n", [5, 7, 10, 14, 15, 22, 100])
+    def test_rejects_other_primes(self, n):
+        with pytest.raises(ValueError, match="not of the form"):
+            factorize_2_3(n)
+
+    @pytest.mark.parametrize("n", [0, -1, -6])
+    def test_rejects_nonpositive(self, n):
+        with pytest.raises(ValueError):
+            factorize_2_3(n)
+
+    @given(st.integers(min_value=0, max_value=10), st.integers(min_value=0, max_value=6))
+    def test_roundtrip(self, a, b):
+        n = 2**a * 3**b
+        assert factorize_2_3(n) == (a, b)
+
+
+class TestAdmissibility:
+    def test_paper_resolutions_admissible(self):
+        for ne in (8, 9, 16, 18, 24):
+            assert is_admissible_size(ne)
+
+    def test_inadmissible(self):
+        assert not is_admissible_size(10)
+        assert not is_admissible_size(0)
+
+    def test_admissible_sizes_list(self):
+        sizes = admissible_sizes(20)
+        assert sizes == [1, 2, 3, 4, 6, 8, 9, 12, 16, 18]
+
+
+class TestSchedules:
+    def test_default_schedule_is_peano_first(self):
+        # Paper Fig. 5: m-Peano refinement first, then Hilbert.
+        assert default_schedule(6) == "PH"
+        assert default_schedule(12) == "PHH"
+        assert default_schedule(18) == "PPH"
+
+    def test_pure_families(self):
+        assert default_schedule(8) == "HHH"
+        assert default_schedule(9) == "PP"
+        assert default_schedule(1) == ""
+
+    def test_schedule_size_inverts_default(self):
+        for n in admissible_sizes(100):
+            assert schedule_size(default_schedule(n)) == n
+
+    def test_schedule_size_rejects_unknown_codes(self):
+        with pytest.raises(ValueError, match="unknown refinement code"):
+            schedule_size("HXP")
+
+    def test_all_schedules_count(self):
+        # ne=12 = 2^2 * 3: schedules are permutations of HHP -> 3 distinct.
+        assert all_schedules(12) == ["HHP", "HPH", "PHH"]
+
+    def test_all_schedules_sizes_consistent(self):
+        for sched in all_schedules(36):
+            assert schedule_size(sched) == 36
+
+    def test_all_schedules_single_family(self):
+        assert all_schedules(8) == ["HHH"]
+        assert all_schedules(9) == ["PP"]

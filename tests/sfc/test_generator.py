@@ -1,0 +1,153 @@
+"""Unit and property tests for space-filling curve generation."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sfc.factorization import schedule_size
+from repro.sfc.generator import (
+    generate_curve,
+    hilbert_curve,
+    hilbert_peano_curve,
+    peano_curve,
+)
+
+# Schedules up to 4 levels keep domains <= 81x81 in property tests.
+schedules = st.text(alphabet="HP", min_size=0, max_size=4)
+
+
+class TestKnownCurves:
+    def test_level1_hilbert_visit_order(self):
+        c = hilbert_curve(1)
+        assert [c.cell_at(k) for k in range(4)] == [(0, 0), (0, 1), (1, 1), (1, 0)]
+
+    def test_level1_peano_visit_order(self):
+        c = peano_curve(1)
+        expected = [
+            (0, 0), (0, 1), (0, 2), (1, 2), (2, 2), (2, 1), (1, 1), (1, 0), (2, 0),
+        ]
+        assert [c.cell_at(k) for k in range(9)] == expected
+
+    def test_level2_hilbert_matches_classic_construction(self):
+        c = hilbert_curve(2)
+        # The classic order-2 Hilbert curve starts by traversing the
+        # transposed bottom-left quadrant.
+        assert [c.cell_at(k) for k in range(4)] == [(0, 0), (1, 0), (1, 1), (0, 1)]
+        assert c.exit == (3, 0)
+
+    def test_level1_hilbert_peano_has_36_cells(self):
+        # Paper Fig. 5: "A level 2 Hilbert-Peano curve that connects 36
+        # sub-domains" (one Peano + one Hilbert refinement).
+        c = hilbert_peano_curve(1, 1)
+        assert len(c) == 36
+        assert c.size == 6
+
+    def test_trivial_curve(self):
+        c = generate_curve(size=1)
+        assert len(c) == 1
+        assert c.entry == c.exit == (0, 0)
+
+
+class TestSelectors:
+    def test_size_and_schedule_mutually_exclusive(self):
+        with pytest.raises(ValueError, match="exactly one"):
+            generate_curve(4, schedule="HH")
+        with pytest.raises(ValueError, match="exactly one"):
+            generate_curve()
+
+    def test_inadmissible_size_rejected(self):
+        with pytest.raises(ValueError, match="not of the form"):
+            generate_curve(size=10)
+
+    def test_unknown_schedule_code_rejected(self):
+        with pytest.raises(ValueError, match="unknown refinement code"):
+            generate_curve(schedule="HQ")
+
+    def test_negative_levels_rejected(self):
+        with pytest.raises(ValueError):
+            hilbert_curve(-1)
+        with pytest.raises(ValueError):
+            peano_curve(-2)
+        with pytest.raises(ValueError):
+            hilbert_peano_curve(1, -1)
+
+    def test_caching_returns_same_object(self):
+        assert generate_curve(schedule="HH") is generate_curve(schedule="HH")
+
+
+class TestCurveProperties:
+    @settings(max_examples=40, deadline=None)
+    @given(schedules)
+    def test_bijective(self, schedule):
+        c = generate_curve(schedule=schedule)
+        n = c.size
+        cells = {tuple(p) for p in c.coords.tolist()}
+        assert len(cells) == n * n
+
+    @settings(max_examples=40, deadline=None)
+    @given(schedules)
+    def test_unit_steps(self, schedule):
+        c = generate_curve(schedule=schedule)
+        if len(c) > 1:
+            assert (c.step_lengths() == 1).all()
+
+    @settings(max_examples=40, deadline=None)
+    @given(schedules)
+    def test_canonical_entry_exit(self, schedule):
+        c = generate_curve(schedule=schedule)
+        assert c.entry == (0, 0)
+        assert c.exit == (c.size - 1, 0)
+
+    @settings(max_examples=40, deadline=None)
+    @given(schedules)
+    def test_index_inverts_coords(self, schedule):
+        c = generate_curve(schedule=schedule)
+        ks = np.arange(len(c))
+        np.testing.assert_array_equal(
+            c.index[c.coords[:, 0], c.coords[:, 1]], ks
+        )
+
+    @settings(max_examples=20, deadline=None)
+    @given(schedules)
+    def test_size_matches_schedule(self, schedule):
+        c = generate_curve(schedule=schedule)
+        assert c.size == schedule_size(schedule)
+
+    def test_position_and_cell_roundtrip(self):
+        c = generate_curve(size=12)
+        for k in (0, 7, 100, len(c) - 1):
+            x, y = c.cell_at(k)
+            assert c.position_of(x, y) == k
+
+    def test_coords_are_readonly(self):
+        c = generate_curve(size=4)
+        with pytest.raises(ValueError):
+            c.coords[0, 0] = 99
+
+    def test_schedule_order_changes_curve_not_properties(self):
+        a = generate_curve(schedule="PH")
+        b = generate_curve(schedule="HP")
+        assert a.size == b.size == 6
+        assert not np.array_equal(a.coords, b.coords)
+        for c in (a, b):
+            assert (c.step_lengths() == 1).all()
+            assert c.entry == (0, 0) and c.exit == (5, 0)
+
+
+class TestRender:
+    def test_render_shows_all_indices(self):
+        c = hilbert_curve(1)
+        text = c.render()
+        rows = text.splitlines()
+        assert len(rows) == 2
+        assert set(text.split()) == {"0", "1", "2", "3"}
+
+    def test_render_origin_bottom_left(self):
+        c = hilbert_curve(1)
+        rows = c.render().splitlines()
+        # Bottom row holds curve positions 0 (left) and 3 (right).
+        assert rows[-1].split() == ["0", "3"]
+        assert rows[0].split() == ["1", "2"]

@@ -1,0 +1,113 @@
+"""Unit tests for the D4 transform algebra."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sfc.transforms import (
+    ALL_TRANSFORMS,
+    ANTITRANSPOSE,
+    FLIP_X,
+    FLIP_Y,
+    IDENTITY,
+    ROT90,
+    ROT180,
+    ROT270,
+    TRANSPOSE,
+)
+
+transforms = st.sampled_from(ALL_TRANSFORMS)
+sizes = st.integers(min_value=1, max_value=9)
+
+
+def all_cells(n: int) -> np.ndarray:
+    xs, ys = np.meshgrid(np.arange(n), np.arange(n), indexing="ij")
+    return np.stack([xs.ravel(), ys.ravel()], axis=1)
+
+
+class TestBasicActions:
+    def test_identity_fixes_everything(self):
+        x, y = IDENTITY.apply(3, 5, 8)
+        assert (x, y) == (3, 5)
+
+    def test_rot90_moves_origin_to_bottom_right(self):
+        # CCW quarter turn maps (0,0) -> (n-1, 0).
+        assert ROT90.apply(0, 0, 4) == (3, 0)
+
+    def test_rot180_swaps_opposite_corners(self):
+        assert ROT180.apply(0, 0, 5) == (4, 4)
+        assert ROT180.apply(4, 4, 5) == (0, 0)
+
+    def test_rot270_is_rot90_inverse(self):
+        assert ROT270.compose(ROT90) is IDENTITY
+        assert ROT90.compose(ROT270) is IDENTITY
+
+    def test_transpose_swaps_axes(self):
+        assert TRANSPOSE.apply(1, 2, 4) == (2, 1)
+
+    def test_antitranspose(self):
+        assert ANTITRANSPOSE.apply(0, 0, 4) == (3, 3)
+        assert ANTITRANSPOSE.apply(3, 0, 4) == (3, 0)
+
+    def test_flips(self):
+        assert FLIP_X.apply(0, 2, 4) == (3, 2)
+        assert FLIP_Y.apply(2, 0, 4) == (2, 3)
+
+    def test_all_transforms_distinct(self):
+        mats = {(t.mxx, t.mxy, t.myx, t.myy) for t in ALL_TRANSFORMS}
+        assert len(mats) == 8
+
+
+class TestGroupLaws:
+    @given(transforms, sizes)
+    def test_bijective_on_grid(self, t, n):
+        pts = all_cells(n)
+        out = t.apply_points(pts, n)
+        assert out.min() >= 0 and out.max() <= n - 1
+        seen = {tuple(p) for p in out.tolist()}
+        assert len(seen) == n * n
+
+    @given(transforms, transforms, sizes)
+    def test_compose_matches_sequential_application(self, a, b, n):
+        pts = all_cells(n)
+        via_compose = a.compose(b).apply_points(pts, n)
+        via_seq = a.apply_points(b.apply_points(pts, n), n)
+        np.testing.assert_array_equal(via_compose, via_seq)
+
+    @given(transforms)
+    def test_inverse(self, t):
+        assert t.compose(t.inverse()) is IDENTITY
+        assert t.inverse().compose(t) is IDENTITY
+
+    @given(transforms, transforms, transforms)
+    def test_associativity(self, a, b, c):
+        assert a.compose(b).compose(c) is a.compose(b.compose(c))
+
+    @given(transforms)
+    def test_identity_is_neutral(self, t):
+        assert IDENTITY.compose(t) is t
+        assert t.compose(IDENTITY) is t
+
+    def test_closure(self):
+        products = {a.compose(b) for a in ALL_TRANSFORMS for b in ALL_TRANSFORMS}
+        assert products == set(ALL_TRANSFORMS)
+
+
+class TestVectorizedApply:
+    def test_apply_points_matches_scalar(self):
+        pts = all_cells(5)
+        for t in ALL_TRANSFORMS:
+            out = t.apply_points(pts, 5)
+            for (x, y), (xp, yp) in zip(pts.tolist(), out.tolist()):
+                assert t.apply(x, y, 5) == (xp, yp)
+
+    @pytest.mark.parametrize("t", ALL_TRANSFORMS, ids=lambda t: t.name)
+    def test_preserves_adjacency(self, t):
+        # Unit grid steps stay unit grid steps under any D4 element.
+        n = 6
+        a = t.apply_points(np.array([[2, 3]]), n)[0]
+        b = t.apply_points(np.array([[2, 4]]), n)[0]
+        assert abs(a[0] - b[0]) + abs(a[1] - b[1]) == 1

@@ -1,0 +1,171 @@
+"""Unit tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_curve_requires_selector(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["curve"])
+
+    def test_curve_selectors_exclusive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["curve", "--size", "4", "--schedule", "H"])
+
+    def test_partition_method_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["partition", "--ne", "4", "--nparts", "8", "--method", "magic"]
+            )
+
+
+class TestCurveCommand:
+    def test_renders(self, capsys):
+        assert main(["curve", "--size", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "size=2" in out
+        assert "0" in out and "3" in out
+
+    def test_schedule_and_analyze(self, capsys):
+        assert main(["curve", "--schedule", "PH", "--analyze"]) == 0
+        out = capsys.readouterr().out
+        assert "locality:" in out
+        assert "bbox_aspect" in out
+
+    def test_bad_size_errors(self):
+        with pytest.raises(ValueError):
+            main(["curve", "--size", "10"])
+
+
+class TestPartitionCommand:
+    def test_text_output(self, capsys):
+        assert main(["partition", "--ne", "4", "--nparts", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "LB(nelemd)   = 0.0000" in out
+        assert "edgecut" in out
+
+    def test_csv_output(self, capsys):
+        assert main(
+            ["partition", "--ne", "4", "--nparts", "8", "--csv"]
+        ) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0].startswith("method,nparts")
+        assert out[1].startswith("sfc,8,")
+
+    def test_metis_method(self, capsys):
+        assert main(
+            ["partition", "--ne", "4", "--nparts", "8", "--method", "rb"]
+        ) == 0
+        assert "method=rb" in capsys.readouterr().out
+
+    def test_write_files(self, tmp_path, capsys):
+        assign = tmp_path / "assign.csv"
+        graph = tmp_path / "mesh.graph"
+        assert main(
+            [
+                "partition",
+                "--ne",
+                "2",
+                "--nparts",
+                "4",
+                "--write-assignment",
+                str(assign),
+                "--write-graph",
+                str(graph),
+            ]
+        ) == 0
+        lines = assign.read_text().splitlines()
+        assert lines[0] == "gid,part"
+        assert len(lines) == 25  # header + 24 elements
+        from repro.graphs import read_metis_graph
+
+        g = read_metis_graph(graph)
+        assert g.nvertices == 24
+
+
+class TestSweepCommand:
+    def test_table(self, capsys):
+        assert main(
+            ["sweep", "--ne", "2", "--methods", "sfc", "--nprocs", "2", "4"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "Nproc" in out and "S(sfc)" in out
+
+    def test_csv(self, capsys):
+        assert main(
+            [
+                "sweep",
+                "--ne",
+                "2",
+                "--methods",
+                "sfc",
+                "rb",
+                "--nprocs",
+                "4",
+                "--csv",
+            ]
+        ) == 0
+        out = capsys.readouterr().out.splitlines()
+        assert out[0] == "nproc,speedup_sfc,gflops_sfc,speedup_rb,gflops_rb"
+        assert out[1].startswith("4,")
+
+
+class TestTraceCommand:
+    def test_renders_timeline(self, capsys):
+        assert main(
+            ["trace", "--ne", "4", "--nparts", "12", "--max-ranks", "6"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "<== critical" in out
+        assert "idle=" in out
+
+    def test_method_choice(self, capsys):
+        assert main(
+            ["trace", "--ne", "4", "--nparts", "8", "--method", "rb"]
+        ) == 0
+        assert "method=rb" in capsys.readouterr().out
+
+
+class TestReportCommand:
+    def test_structural_report(self, capsys):
+        assert main(["report", "--ne", "4", "--nparts", "12"]) == 0
+        out = capsys.readouterr().out
+        assert "fragmented parts" in out
+        assert "Worst parts" in out
+
+    def test_metis_report(self, capsys):
+        assert main(
+            ["report", "--ne", "4", "--nparts", "12", "--method", "kway"]
+        ) == 0
+        assert "method=kway" in capsys.readouterr().out
+
+
+class TestTable2Command:
+    def test_runs_small(self, capsys):
+        assert main(["table2", "--ne", "4", "--nparts", "48"]) == 0
+        out = capsys.readouterr().out
+        assert "LB(nelemd)" in out
+        assert "K=96" in out
+
+    def test_nlev_scales_tcv(self, capsys):
+        main(["table2", "--ne", "8", "--nparts", "96", "--nlev", "1"])
+        tcv1 = capsys.readouterr().out
+        main(["table2", "--ne", "8", "--nparts", "96", "--nlev", "16"])
+        tcv16 = capsys.readouterr().out
+
+        def tcv_value(text):
+            for line in text.splitlines():
+                if line.startswith("TCV"):
+                    return float(line.split()[2])
+            raise AssertionError("no TCV row")
+
+        # Printed to 2 decimals, so compare loosely.
+        assert tcv_value(tcv16) == pytest.approx(16 * tcv_value(tcv1), rel=0.05)
