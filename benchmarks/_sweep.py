@@ -3,21 +3,26 @@
 from __future__ import annotations
 
 from repro.experiments import best_metis, format_series, speedup_sweep
+from repro.service import PartitionEngine
 
 
-def sweep_and_render(ne: int, quantity: str, title: str) -> tuple[str, dict]:
+def sweep_and_render(
+    ne: int, quantity: str, title: str, engine: PartitionEngine | None = None
+) -> tuple[str, dict]:
     """Run the full sweep for a resolution and render a figure series.
 
     Args:
         ne: Resolution.
         quantity: ``"speedup"`` or ``"gflops"``.
         title: Figure title for the artifact.
+        engine: Optional partition service engine; the sweep is then
+            served as one cached/parallel batch (bit-identical results).
 
     Returns:
         ``(text, data)`` where data has ``nprocs``, ``sfc`` and
         ``metis`` value lists for assertions.
     """
-    results = speedup_sweep(ne)
+    results = speedup_sweep(ne, engine=engine)
     nprocs = [r.nproc for r in results["sfc"]]
 
     def value(r):

@@ -1,0 +1,72 @@
+"""Partition service cache benchmark — cold vs. warm throughput.
+
+Serves the same K=1536 (Ne=16) sweep twice through the engine:
+
+* **cold** — empty cache directory, every request computed (in
+  parallel worker processes);
+* **warm** — a fresh engine over the now-populated disk store, with an
+  empty memory tier, so every request is a disk hit.
+
+The acceptance bar for the serving subsystem: the warm pass answers
+>= 95% of requests from cache and is >= 5x faster end-to-end.
+"""
+
+from __future__ import annotations
+
+import os
+from time import perf_counter
+
+from repro.experiments import format_table
+from repro.service import PartitionCache, PartitionEngine, PartitionRequest
+
+NE = 16  # K = 1536, the paper's largest Hilbert resolution
+METHODS = ("sfc", "rb", "kway", "tv")
+NPROCS = (24, 48, 96, 192, 384)
+
+
+def sweep_requests() -> list[PartitionRequest]:
+    return [
+        PartitionRequest(ne=NE, nparts=nparts, method=method)
+        for method in METHODS
+        for nparts in NPROCS
+    ]
+
+
+def serve(cache_dir) -> tuple[PartitionEngine, list, float]:
+    engine = PartitionEngine(
+        PartitionCache(cache_dir=cache_dir),
+        jobs=min(4, os.cpu_count() or 1),
+    )
+    start = perf_counter()
+    responses = engine.run(sweep_requests())
+    return engine, responses, perf_counter() - start
+
+
+def test_service_cache_throughput(tmp_path, save_artifact):
+    cache_dir = tmp_path / "cache"
+    cold_engine, cold_responses, cold_s = serve(cache_dir)
+    warm_engine, warm_responses, warm_s = serve(cache_dir)
+
+    n = len(cold_responses)
+    rows = [
+        ["cold", n, cold_engine.stats.count("computed"),
+         f"{cold_engine.stats.hit_rate:.2f}", f"{cold_s:.3f}", f"{n / cold_s:.1f}"],
+        ["warm", n, warm_engine.stats.count("computed"),
+         f"{warm_engine.stats.hit_rate:.2f}", f"{warm_s:.3f}", f"{n / warm_s:.1f}"],
+        ["speedup", "", "", "", f"{cold_s / warm_s:.1f}x", ""],
+    ]
+    text = format_table(
+        ["pass", "requests", "computed", "hit_rate", "wall_s", "req/s"],
+        rows,
+        title=f"Partition service cache, K={6 * NE * NE} sweep "
+        f"({len(METHODS)} methods x {len(NPROCS)} nprocs)",
+    )
+    save_artifact("service_cache", text)
+
+    # Identical answers either way.
+    for a, b in zip(cold_responses, warm_responses):
+        assert (a.assignment == b.assignment).all()
+        assert a.metrics == b.metrics
+    # Acceptance: warm pass >= 95% hits and >= 5x lower wall time.
+    assert warm_engine.stats.hit_rate >= 0.95
+    assert cold_s / warm_s >= 5.0

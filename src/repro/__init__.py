@@ -36,6 +36,12 @@ from .partition import (
     sfc_partition,
 )
 from .seam import DEFAULT_COST_MODEL, SEAMCostModel
+from .service import (
+    PartitionCache,
+    PartitionEngine,
+    PartitionRequest,
+    PartitionResponse,
+)
 from .sfc import (
     SpaceFillingCurve,
     generate_curve,
@@ -54,7 +60,11 @@ __all__ = [
     "MachineSpec",
     "P690_CLUSTER",
     "Partition",
+    "PartitionCache",
+    "PartitionEngine",
     "PartitionQuality",
+    "PartitionRequest",
+    "PartitionResponse",
     "PerformanceModel",
     "SEAMCostModel",
     "SpaceFillingCurve",

@@ -5,11 +5,17 @@ Subcommands mirror the library's main workflows:
 * ``curve``     — render a space-filling curve's visit order;
 * ``partition`` — partition the cubed-sphere, print quality metrics,
   optionally write the assignment and the METIS-format graph;
+* ``batch``     — serve a JSON/CSV file of partition requests through
+  the cached, parallel service engine;
 * ``sweep``     — the paper's Figure 7-10 sweeps as a series table;
 * ``table2``    — the paper's Table 2 for any (Ne, Nproc).
 
+``partition``, ``batch`` and ``sweep`` all accept ``--cache-dir`` (a
+persistent partition cache shared across invocations) and ``--jobs``
+(worker processes for cache misses).
+
 All output is plain text on stdout (machine-readable CSV via
-``--csv`` for ``partition`` and ``sweep``).
+``--csv`` for ``partition``, ``batch`` and ``sweep``).
 """
 
 from __future__ import annotations
@@ -23,6 +29,49 @@ import numpy as np
 __all__ = ["main", "build_parser"]
 
 
+def _package_version() -> str:
+    """The installed package version, falling back to the source tree."""
+    try:
+        from importlib.metadata import PackageNotFoundError, version
+
+        return version("repro")
+    except PackageNotFoundError:
+        from . import __version__
+
+        return __version__
+
+
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError("must be >= 1")
+    return value
+
+
+def _add_service_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags shared by every engine-served subcommand."""
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="persistent partition cache directory (created on demand)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=1,
+        help="worker processes for cache misses (default: 1, inline)",
+    )
+
+
+def _make_engine(args: argparse.Namespace):
+    """Build a service engine from the common CLI flags."""
+    from .service import PartitionCache, PartitionEngine
+
+    cache = PartitionCache(cache_dir=args.cache_dir)
+    return PartitionEngine(cache=cache, jobs=args.jobs)
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for testing)."""
     parser = argparse.ArgumentParser(
@@ -31,6 +80,9 @@ def build_parser() -> argparse.ArgumentParser:
             "Space-filling-curve partitioning on the cubed-sphere "
             "(reproduction of Dennis, IPPS 2003)"
         ),
+    )
+    parser.add_argument(
+        "--version", action="version", version=f"%(prog)s {_package_version()}"
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
@@ -60,6 +112,28 @@ def build_parser() -> argparse.ArgumentParser:
     p_part.add_argument(
         "--write-graph", type=Path, help="write the element graph (METIS format)"
     )
+    _add_service_flags(p_part)
+
+    p_batch = sub.add_parser(
+        "batch", help="serve a file of partition requests via the engine"
+    )
+    p_batch.add_argument(
+        "requests",
+        type=Path,
+        help="JSON (list of request objects) or CSV (ne,nparts[,method,seed,"
+        "schedule] header) request file",
+    )
+    p_batch.add_argument("--csv", action="store_true", help="CSV metric output")
+    p_batch.add_argument(
+        "--stats", action="store_true", help="print engine telemetry after the batch"
+    )
+    p_batch.add_argument(
+        "--write-assignments",
+        type=Path,
+        metavar="DIR",
+        help="write one gid,part CSV per request into DIR",
+    )
+    _add_service_flags(p_batch)
 
     p_sweep = sub.add_parser("sweep", help="speedup/Gflops sweep (Figs. 7-10)")
     p_sweep.add_argument("--ne", type=int, required=True)
@@ -68,6 +142,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     p_sweep.add_argument("--nprocs", nargs="*", type=int, default=None)
     p_sweep.add_argument("--csv", action="store_true")
+    _add_service_flags(p_sweep)
 
     p_t2 = sub.add_parser("table2", help="partition statistics (Table 2)")
     p_t2.add_argument("--ne", type=int, default=16)
@@ -117,37 +192,107 @@ def _cmd_curve(args: argparse.Namespace) -> int:
     return 0
 
 
-def _cmd_partition(args: argparse.Namespace) -> int:
-    from .cubesphere import cubed_sphere_mesh
-    from .experiments import make_partition
-    from .graphs import mesh_graph, write_metis_graph
-    from .partition import evaluate_partition
+def _write_assignment_csv(path: Path, assignment) -> None:
+    """Write a gid,part CSV, creating parents; clean error on failure.
 
-    mesh = cubed_sphere_mesh(args.ne)
-    graph = mesh_graph(mesh)
-    part = make_partition(args.ne, args.nparts, args.method, seed=args.seed)
-    q = evaluate_partition(graph, part)
+    Raises:
+        SystemExit: With a readable message when the path cannot be
+            written (unwritable directory, permission denied, ...).
+    """
+    lines = ["gid,part"] + [f"{gid},{int(p)}" for gid, p in enumerate(assignment)]
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text("\n".join(lines) + "\n")
+    except OSError as exc:
+        raise SystemExit(
+            f"repro: error: cannot write assignment to '{path}': {exc.strerror or exc}"
+        ) from exc
+    print(f"wrote {path}", file=sys.stderr)
+
+
+def _cmd_partition(args: argparse.Namespace) -> int:
+    from .service import PartitionRequest
+
+    engine = _make_engine(args)
+    request = PartitionRequest(
+        ne=args.ne, nparts=args.nparts, method=args.method, seed=args.seed
+    )
+    response = engine.serve(request)
+    m = response.metrics
     if args.csv:
         print("method,nparts,lb_nelemd,lb_spcv,edgecut,tcv_points")
         print(
-            f"{args.method},{args.nparts},{q.lb_nelemd:.6f},"
-            f"{q.lb_spcv:.6f},{q.edgecut},{q.total_volume_points}"
+            f"{args.method},{args.nparts},{m['lb_nelemd']:.6f},"
+            f"{m['lb_spcv']:.6f},{m['edgecut']},{m['total_volume_points']}"
         )
     else:
-        print(f"K={mesh.nelem} method={args.method} nparts={args.nparts}")
-        print(f"LB(nelemd)   = {q.lb_nelemd:.4f}")
-        print(f"LB(spcv)     = {q.lb_spcv:.4f}")
-        print(f"edgecut      = {q.edgecut}")
-        print(f"TCV (points) = {q.total_volume_points}")
+        print(f"K={request.k} method={args.method} nparts={args.nparts}")
+        print(f"LB(nelemd)   = {m['lb_nelemd']:.4f}")
+        print(f"LB(spcv)     = {m['lb_spcv']:.4f}")
+        print(f"edgecut      = {m['edgecut']}")
+        print(f"TCV (points) = {m['total_volume_points']}")
     if args.write_assignment:
-        lines = ["gid,part"] + [
-            f"{gid},{int(p)}" for gid, p in enumerate(part.assignment)
-        ]
-        args.write_assignment.write_text("\n".join(lines) + "\n")
-        print(f"wrote {args.write_assignment}", file=sys.stderr)
+        _write_assignment_csv(args.write_assignment, response.assignment)
     if args.write_graph:
-        write_metis_graph(graph, args.write_graph)
+        from .cubesphere import cubed_sphere_mesh
+        from .graphs import mesh_graph, write_metis_graph
+
+        write_metis_graph(mesh_graph(cubed_sphere_mesh(args.ne)), args.write_graph)
         print(f"wrote {args.write_graph}", file=sys.stderr)
+    return 0
+
+
+def _cmd_batch(args: argparse.Namespace) -> int:
+    from .experiments import format_table
+    from .service import load_request_file
+
+    try:
+        requests = load_request_file(args.requests)
+    except FileNotFoundError:
+        raise SystemExit(f"repro: error: request file '{args.requests}' not found")
+    except ValueError as exc:
+        raise SystemExit(f"repro: error: {exc}")
+    engine = _make_engine(args)
+    responses = engine.run(requests)
+    columns = [
+        "ne", "nparts", "method", "seed", "source",
+        "lb_nelemd", "lb_spcv", "edgecut", "tcv_points", "ms",
+    ]
+    rows = [
+        [
+            r.request.ne,
+            r.request.nparts,
+            r.request.method,
+            r.request.seed,
+            r.source,
+            f"{r.metrics['lb_nelemd']:.6f}",
+            f"{r.metrics['lb_spcv']:.6f}",
+            r.metrics["edgecut"],
+            r.metrics["total_volume_points"],
+            f"{1e3 * r.elapsed_s:.1f}",
+        ]
+        for r in responses
+    ]
+    if args.csv:
+        print(",".join(columns))
+        for row in rows:
+            print(",".join(str(v) for v in row))
+    else:
+        print(
+            format_table(
+                columns, rows, title=f"Batch of {len(responses)} requests"
+            )
+        )
+    if args.write_assignments:
+        for i, r in enumerate(responses):
+            name = (
+                f"req{i:04d}-ne{r.request.ne}-np{r.request.nparts}"
+                f"-{r.request.method}.csv"
+            )
+            _write_assignment_csv(args.write_assignments / name, r.assignment)
+    if args.stats:
+        print()
+        print(engine.stats.render())
     return 0
 
 
@@ -155,7 +300,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     from .experiments import format_series, speedup_sweep
 
     results = speedup_sweep(
-        args.ne, methods=tuple(args.methods), nprocs=args.nprocs or None
+        args.ne,
+        methods=tuple(args.methods),
+        nprocs=args.nprocs or None,
+        engine=_make_engine(args),
     )
     nprocs = [r.nproc for r in results[args.methods[0]]]
     if args.csv:
@@ -241,6 +389,7 @@ def main(argv: list[str] | None = None) -> int:
     handlers = {
         "curve": _cmd_curve,
         "partition": _cmd_partition,
+        "batch": _cmd_batch,
         "sweep": _cmd_sweep,
         "table2": _cmd_table2,
         "trace": _cmd_trace,

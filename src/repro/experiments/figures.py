@@ -101,10 +101,17 @@ def run_method(
     cost: SEAMCostModel = DEFAULT_COST_MODEL,
     seed: int = 0,
     schedule: str | None = None,
+    partition: Partition | None = None,
 ) -> MethodResult:
-    """Partition, evaluate and time one method at one processor count."""
+    """Partition, evaluate and time one method at one processor count.
+
+    Args:
+        partition: Optional precomputed partition (e.g. from the
+            service engine); skips the partitioning step.
+    """
     graph = _graph_for(ne, cost.npts)
-    partition = make_partition(ne, nproc, method, seed=seed, schedule=schedule)
+    if partition is None:
+        partition = make_partition(ne, nproc, method, seed=seed, schedule=schedule)
     quality = evaluate_partition(graph, partition)
     model = PerformanceModel(machine, cost)
     timing = model.step_timing(graph, partition)
@@ -121,6 +128,7 @@ def speedup_sweep(
     machine: MachineSpec = P690_CLUSTER,
     cost: SEAMCostModel = DEFAULT_COST_MODEL,
     seed: int = 0,
+    engine=None,
 ) -> dict[str, list[MethodResult]]:
     """Full sweep over processor counts for several methods.
 
@@ -132,6 +140,11 @@ def speedup_sweep(
         machine: Machine model.
         cost: Cost model.
         seed: Partitioner seed.
+        engine: Optional :class:`~repro.service.engine.PartitionEngine`;
+            when given, all sweep points are served as one batch
+            (deduplicated, cached, computed in parallel) instead of
+            partitioning serially in-process.  Results are bit-identical
+            either way.
 
     Returns:
         ``{method: [MethodResult per nproc]}``.
@@ -139,9 +152,33 @@ def speedup_sweep(
     k = 6 * ne * ne
     if nprocs is None:
         nprocs = admissible_nprocs(k, machine.max_procs)
+    if engine is None:
+        return {
+            method: [
+                run_method(ne, nproc, method, machine=machine, cost=cost, seed=seed)
+                for nproc in nprocs
+            ]
+            for method in methods
+        }
+    from ..service.requests import PartitionRequest
+
+    requests = [
+        PartitionRequest(ne=ne, nparts=nproc, method=method, seed=seed)
+        for method in methods
+        for nproc in nprocs
+    ]
+    responses = iter(engine.run(requests))
     return {
         method: [
-            run_method(ne, nproc, method, machine=machine, cost=cost, seed=seed)
+            run_method(
+                ne,
+                nproc,
+                method,
+                machine=machine,
+                cost=cost,
+                seed=seed,
+                partition=next(responses).to_partition(),
+            )
             for nproc in nprocs
         ]
         for method in methods

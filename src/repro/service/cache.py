@@ -1,0 +1,177 @@
+"""Content-addressed partition cache: in-memory LRU + on-disk store.
+
+Partitions are pure functions of their request's canonical form, so
+the cache is content-addressed: the key is the SHA-256 of the request's
+canonical JSON (:meth:`PartitionRequest.cache_key`).  Two tiers:
+
+* an in-memory LRU (bounded by ``capacity`` responses) that makes
+  repeated requests inside one process near-free;
+* an optional on-disk store (one ``<key>.npz`` per entry holding the
+  assignment array plus the response JSON metadata) so repeated CLI or
+  benchmark invocations skip partitioning entirely.
+
+Disk writes are atomic (temp file + ``os.replace``) so concurrent
+engines sharing a cache directory can only ever observe complete
+entries.  Disk hits are promoted into the memory tier.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from collections import OrderedDict
+from pathlib import Path
+
+import numpy as np
+
+from .requests import PartitionRequest, PartitionResponse
+
+__all__ = ["PartitionCache"]
+
+
+class PartitionCache:
+    """Two-tier (memory LRU + disk) content-addressed response cache.
+
+    Args:
+        capacity: Maximum responses held in memory (LRU eviction).
+        cache_dir: Optional directory for the persistent tier; created
+            on first use.  ``None`` keeps the cache memory-only.
+    """
+
+    def __init__(
+        self, capacity: int = 256, cache_dir: Path | str | None = None
+    ) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
+        self.cache_dir = Path(cache_dir) if cache_dir is not None else None
+        self._memory: OrderedDict[str, PartitionResponse] = OrderedDict()
+        self.memory_hits = 0
+        self.disk_hits = 0
+        self.misses = 0
+        self.stores = 0
+
+    # -- lookup ---------------------------------------------------------
+
+    def get(self, request: PartitionRequest) -> PartitionResponse | None:
+        """Return the cached response for ``request``, or ``None``.
+
+        The returned response's ``source`` reflects the tier that
+        answered (``"memory"`` or ``"disk"``).
+        """
+        key = request.cache_key()
+        hit = self._memory.get(key)
+        if hit is not None:
+            self._memory.move_to_end(key)
+            self.memory_hits += 1
+            return hit.with_source("memory")
+        hit = self._load_disk(key, request)
+        if hit is not None:
+            self.disk_hits += 1
+            self._remember(key, hit)
+            return hit
+        self.misses += 1
+        return None
+
+    def put(self, request: PartitionRequest, response: PartitionResponse) -> None:
+        """Insert a computed response into both tiers."""
+        key = request.cache_key()
+        self._remember(key, response)
+        if self.cache_dir is not None:
+            self._store_disk(key, response)
+        self.stores += 1
+
+    def __contains__(self, request: PartitionRequest) -> bool:
+        key = request.cache_key()
+        return key in self._memory or (
+            self.cache_dir is not None and self._path(key).exists()
+        )
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def clear_memory(self) -> None:
+        """Drop the memory tier (the disk tier survives)."""
+        self._memory.clear()
+
+    # -- stats ----------------------------------------------------------
+
+    @property
+    def hits(self) -> int:
+        return self.memory_hits + self.disk_hits
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def stats(self) -> dict[str, float | int]:
+        return {
+            "memory_hits": self.memory_hits,
+            "disk_hits": self.disk_hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": self.hit_rate,
+            "memory_entries": len(self._memory),
+        }
+
+    # -- internals ------------------------------------------------------
+
+    def _remember(self, key: str, response: PartitionResponse) -> None:
+        self._memory[key] = response
+        self._memory.move_to_end(key)
+        while len(self._memory) > self.capacity:
+            self._memory.popitem(last=False)
+
+    def _path(self, key: str) -> Path:
+        assert self.cache_dir is not None
+        return self.cache_dir / f"{key}.npz"
+
+    def _store_disk(self, key: str, response: PartitionResponse) -> None:
+        assert self.cache_dir is not None
+        self.cache_dir.mkdir(parents=True, exist_ok=True)
+        path = self._path(key)
+        tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
+        meta = {
+            "request": response.request.canonical(),
+            "metrics": response.metrics,
+            "elapsed_s": response.elapsed_s,
+        }
+        try:
+            with open(tmp, "wb") as fh:
+                np.savez_compressed(
+                    fh,
+                    assignment=response.assignment,
+                    meta=np.frombuffer(
+                        json.dumps(meta, sort_keys=True).encode(), dtype=np.uint8
+                    ),
+                )
+            os.replace(tmp, path)
+        finally:
+            tmp.unlink(missing_ok=True)
+
+    def _load_disk(
+        self, key: str, request: PartitionRequest
+    ) -> PartitionResponse | None:
+        if self.cache_dir is None:
+            return None
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            with np.load(path) as data:
+                assignment = data["assignment"]
+                meta = json.loads(bytes(data["meta"]).decode())
+        except (OSError, KeyError, ValueError, json.JSONDecodeError):
+            return None  # truncated/foreign file: treat as a miss
+        # Paranoia against hash collisions and stale schemas: the stored
+        # request must match the one asked for.
+        if meta.get("request") != request.canonical():
+            return None
+        return PartitionResponse(
+            request=request,
+            assignment=assignment,
+            metrics=meta["metrics"],
+            elapsed_s=float(meta.get("elapsed_s", 0.0)),
+            source="disk",
+        )

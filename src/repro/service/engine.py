@@ -1,0 +1,140 @@
+"""Batch partition execution engine.
+
+The engine is the serving core: submit any number of
+:class:`PartitionRequest`\\ s and get back one response per request, in
+request order, with bit-identical assignments to serial in-process
+computation.  Per batch it
+
+1. **deduplicates** requests by content hash (a sweep that asks the
+   same point twice computes it once);
+2. **consults the cache** (memory LRU, then disk) for every unique
+   request;
+3. **fans the misses out** over a ``ProcessPoolExecutor`` — sweep
+   points are embarrassingly parallel, and the heavy partitioners
+   (multilevel METIS) are pure CPU-bound Python/NumPy, so processes
+   are the right executor;
+4. **stores** every computed response back into the cache and records
+   telemetry in :class:`~repro.service.stats.ServiceStats`.
+
+``jobs=1`` (the default) computes misses inline — no pool, no fork —
+which keeps single-request CLI calls and small test batches cheap and
+trivially debuggable.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from concurrent.futures import ProcessPoolExecutor
+from time import perf_counter
+
+from .cache import PartitionCache
+from .requests import PartitionRequest, PartitionResponse, quality_metrics
+from .stats import ServiceStats
+
+__all__ = ["PartitionEngine", "compute_response"]
+
+
+def compute_response(request: PartitionRequest) -> PartitionResponse:
+    """Compute one partition + its metrics (runs in worker processes).
+
+    Module-level (picklable) on purpose.  Deterministic for a given
+    request, so parallel and serial execution agree bit-for-bit.
+    """
+    # Lazy import: keeps ``repro.service`` importable without dragging
+    # the sweep stack in, and breaks the experiments <-> service cycle.
+    from ..experiments.figures import _graph_for, make_partition
+    from ..partition.metrics import evaluate_partition
+    from ..seam.cost import DEFAULT_COST_MODEL
+
+    start = perf_counter()
+    partition = make_partition(
+        request.ne,
+        request.nparts,
+        request.method,
+        seed=request.seed,
+        schedule=request.schedule,
+    )
+    graph = _graph_for(request.ne, DEFAULT_COST_MODEL.npts)
+    quality = evaluate_partition(graph, partition)
+    return PartitionResponse(
+        request=request,
+        assignment=partition.assignment,
+        metrics=quality_metrics(quality),
+        elapsed_s=perf_counter() - start,
+        source="computed",
+    )
+
+
+class PartitionEngine:
+    """Cached, batched, parallel partition server.
+
+    Args:
+        cache: Response cache; ``None`` builds a default memory-only
+            :class:`PartitionCache`.
+        jobs: Worker processes for cache misses.  ``1`` computes
+            inline in this process.
+    """
+
+    def __init__(self, cache: PartitionCache | None = None, jobs: int = 1) -> None:
+        if jobs < 1:
+            raise ValueError("jobs must be >= 1")
+        self.cache = cache if cache is not None else PartitionCache()
+        self.jobs = jobs
+        self.stats = ServiceStats(jobs=jobs)
+
+    def serve(self, request: PartitionRequest) -> PartitionResponse:
+        """Serve a single request (batch of one)."""
+        return self.run([request])[0]
+
+    def run(
+        self, requests: Sequence[PartitionRequest]
+    ) -> list[PartitionResponse]:
+        """Serve a batch; responses align with ``requests`` by index."""
+        start = perf_counter()
+        # Dedupe by content hash, preserving first-seen order.
+        order: list[str] = []
+        unique: dict[str, PartitionRequest] = {}
+        for req in requests:
+            key = req.cache_key()
+            order.append(key)
+            unique.setdefault(key, req)
+
+        resolved: dict[str, PartitionResponse] = {}
+        misses: list[PartitionRequest] = []
+        for key, req in unique.items():
+            hit = self.cache.get(req)
+            if hit is not None:
+                resolved[key] = hit
+            else:
+                misses.append(req)
+
+        for response in self._compute_all(misses):
+            self.cache.put(response.request, response)
+            resolved[response.request.cache_key()] = response
+
+        # Duplicate requests within the batch share the first
+        # occurrence's answer; label repeats ``dedup`` so telemetry
+        # doesn't double-count the compute time.
+        responses: list[PartitionResponse] = []
+        served: set[str] = set()
+        for key in order:
+            response = resolved[key]
+            if key in served:
+                response = response.with_source("dedup")
+            served.add(key)
+            responses.append(response)
+        for response in responses:
+            self.stats.record(response)
+        self.stats.record_batch_wall(perf_counter() - start)
+        return responses
+
+    def _compute_all(
+        self, misses: list[PartitionRequest]
+    ) -> list[PartitionResponse]:
+        if not misses:
+            return []
+        if self.jobs == 1 or len(misses) == 1:
+            return [compute_response(req) for req in misses]
+        workers = min(self.jobs, len(misses))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(compute_response, misses))

@@ -1,0 +1,235 @@
+"""Request/response schema of the partition service.
+
+A :class:`PartitionRequest` names one partitioning problem — the same
+``(ne, nparts, method, seed, options)`` tuple the CLI and the sweeps
+pass around — as a validated frozen dataclass with a *canonical JSON
+form*.  The canonical form is what the cache hashes: two requests that
+mean the same partition always hash identically, regardless of how
+they were constructed (CLI flags, a JSON batch file, or a sweep loop).
+
+A :class:`PartitionResponse` carries everything a client needs: the
+dense assignment vector, the full Table-2 metric set (scalars of
+:class:`~repro.partition.metrics.PartitionQuality`), the compute time,
+and where the answer came from (``computed`` / ``memory`` / ``disk``).
+Both types round-trip through JSON so batch files and on-disk cache
+entries share one serialization.
+"""
+
+from __future__ import annotations
+
+import csv
+import hashlib
+import json
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+
+import numpy as np
+
+__all__ = [
+    "METRIC_FIELDS",
+    "PartitionRequest",
+    "PartitionResponse",
+    "quality_metrics",
+    "load_request_file",
+]
+
+#: Scalar metrics copied off a ``PartitionQuality`` into responses.
+METRIC_FIELDS = (
+    "lb_nelemd",
+    "lb_weight",
+    "lb_spcv",
+    "edgecut",
+    "weighted_edgecut",
+    "total_volume_points",
+    "boundary_vertices",
+)
+
+
+def quality_metrics(quality) -> dict[str, float | int]:
+    """Extract the scalar Table-2 metrics of a ``PartitionQuality``."""
+    return {name: getattr(quality, name) for name in METRIC_FIELDS}
+
+
+@dataclass(frozen=True)
+class PartitionRequest:
+    """One partitioning problem, in canonical form.
+
+    Attributes:
+        ne: Elements per cube-face edge (``K = 6 ne^2``).
+        nparts: Processor count, ``1 <= nparts <= K``.
+        method: Partitioner name (see ``experiments.ALL_METHODS``).
+        seed: Seed for randomized partitioners.
+        schedule: Optional face-local refinement schedule (SFC only).
+    """
+
+    ne: int
+    nparts: int
+    method: str = "sfc"
+    seed: int = 0
+    schedule: str | None = None
+
+    def __post_init__(self) -> None:
+        # Lazy import: experiments pulls in the whole sweep stack and
+        # itself reaches back into the service layer.
+        from ..experiments.figures import ALL_METHODS
+
+        for name in ("ne", "nparts", "seed"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+                raise ValueError(f"{name} must be an integer, got {value!r}")
+            object.__setattr__(self, name, int(value))
+        if self.ne < 1:
+            raise ValueError(f"ne must be >= 1, got {self.ne}")
+        if not 1 <= self.nparts <= self.k:
+            raise ValueError(
+                f"nparts must be in [1, K={self.k}], got {self.nparts}"
+            )
+        if self.method not in ALL_METHODS:
+            raise ValueError(
+                f"unknown method {self.method!r}; choose from {ALL_METHODS}"
+            )
+        if self.schedule is not None and not isinstance(self.schedule, str):
+            raise ValueError("schedule must be a string or None")
+
+    @property
+    def k(self) -> int:
+        """Total element count ``K = 6 ne^2``."""
+        return 6 * self.ne * self.ne
+
+    def canonical(self) -> dict:
+        """Key-sorted plain dict — the hashed canonical form."""
+        return {
+            "method": self.method,
+            "ne": self.ne,
+            "nparts": self.nparts,
+            "schedule": self.schedule,
+            "seed": self.seed,
+        }
+
+    def cache_key(self) -> str:
+        """Content address: SHA-256 of the canonical JSON form."""
+        payload = json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("ascii")).hexdigest()
+
+    def to_json(self) -> str:
+        return json.dumps(self.canonical(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "PartitionRequest":
+        known = {"ne", "nparts", "method", "seed", "schedule"}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown request fields: {sorted(unknown)}")
+        if "ne" not in data or "nparts" not in data:
+            raise ValueError("request needs at least 'ne' and 'nparts'")
+        return cls(
+            ne=int(data["ne"]),
+            nparts=int(data["nparts"]),
+            method=str(data.get("method", "sfc")),
+            seed=int(data.get("seed", 0)),
+            schedule=data.get("schedule") or None,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "PartitionRequest":
+        return cls.from_dict(json.loads(text))
+
+
+@dataclass(frozen=True)
+class PartitionResponse:
+    """The service's answer to one :class:`PartitionRequest`.
+
+    Attributes:
+        request: The request answered.
+        assignment: ``(K,)`` int64 gid -> part vector.
+        metrics: Scalar Table-2 metrics (:data:`METRIC_FIELDS`).
+        elapsed_s: Compute time of the underlying partition run (0 is
+            legal for cache hits loaded without recomputation).
+        source: Where the answer came from: ``"computed"``,
+            ``"memory"``, ``"disk"``, or ``"dedup"`` (a within-batch
+            duplicate of another request).
+    """
+
+    request: PartitionRequest
+    assignment: np.ndarray = field(repr=False)
+    metrics: dict[str, float | int]
+    elapsed_s: float = 0.0
+    source: str = "computed"
+
+    def __post_init__(self) -> None:
+        arr = np.asarray(self.assignment, dtype=np.int64)
+        if arr.shape != (self.request.k,):
+            raise ValueError(
+                f"assignment has shape {arr.shape}, expected ({self.request.k},)"
+            )
+        if len(arr) and (arr.min() < 0 or arr.max() >= self.request.nparts):
+            raise ValueError("assignment contains out-of-range part ids")
+        object.__setattr__(self, "assignment", arr)
+        arr.setflags(write=False)
+        missing = set(METRIC_FIELDS) - set(self.metrics)
+        if missing:
+            raise ValueError(f"metrics missing fields: {sorted(missing)}")
+
+    def to_partition(self):
+        """Reconstruct the :class:`~repro.partition.base.Partition`."""
+        from ..partition.base import Partition
+
+        return Partition(
+            self.assignment, nparts=self.request.nparts, method=self.request.method
+        )
+
+    def with_source(self, source: str) -> "PartitionResponse":
+        return replace(self, source=source)
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "request": self.request.canonical(),
+                "assignment": self.assignment.tolist(),
+                "metrics": self.metrics,
+                "elapsed_s": self.elapsed_s,
+                "source": self.source,
+            },
+            sort_keys=True,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "PartitionResponse":
+        data = json.loads(text)
+        return cls(
+            request=PartitionRequest.from_dict(data["request"]),
+            assignment=np.asarray(data["assignment"], dtype=np.int64),
+            metrics=data["metrics"],
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+            source=str(data.get("source", "computed")),
+        )
+
+
+def load_request_file(path: Path | str) -> list[PartitionRequest]:
+    """Parse a batch request file (JSON or CSV by extension).
+
+    JSON accepts either a list of request objects or a wrapper
+    ``{"requests": [...]}``.  CSV needs a header with at least
+    ``ne,nparts``; ``method``, ``seed`` and ``schedule`` columns are
+    optional (empty cells fall back to defaults).
+    """
+    path = Path(path)
+    text = path.read_text()
+    if path.suffix.lower() == ".csv":
+        rows = []
+        for row in csv.DictReader(text.splitlines()):
+            cleaned = {k: v for k, v in row.items() if k and v not in (None, "")}
+            rows.append(cleaned)
+    else:
+        data = json.loads(text)
+        if isinstance(data, dict):
+            data = data.get("requests")
+        if not isinstance(data, list):
+            raise ValueError(
+                f"{path}: expected a JSON list of requests "
+                "(or {'requests': [...]})"
+            )
+        rows = data
+    if not rows:
+        raise ValueError(f"{path}: no requests found")
+    return [PartitionRequest.from_dict(row) for row in rows]

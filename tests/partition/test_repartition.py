@@ -121,3 +121,48 @@ class TestLoadTracker:
         p = tracker.update(np.ones(len(curve)))
         p.validate()
         assert tracker.current is p
+
+    def test_single_rebalance_step(self, curve):
+        """One update: no prior partition, so migration is zero and the
+        history holds exactly one fully-populated entry."""
+        tracker = LoadTracker(curve, nparts=12)
+        p = tracker.update(moving_weights(curve, center_gid=20))
+        assert len(tracker.history) == 1
+        entry = tracker.history[0]
+        assert entry["elements_moved"] == 0.0
+        assert entry["fraction_moved"] == 0.0
+        assert entry["max_load"] >= entry["mean_load"] > 0
+        assert 0.0 <= entry["lb"] < 1.0
+        assert tracker.current is p
+
+    def test_all_equal_weights_zero_migration(self, curve):
+        """Unchanged uniform weights re-cut identically: no migration,
+        perfect balance at every step."""
+        tracker = LoadTracker(curve, nparts=12)
+        w = np.ones(len(curve))
+        first = tracker.update(w)
+        second = tracker.update(w)
+        assert np.array_equal(first.assignment, second.assignment)
+        assert tracker.history[1]["elements_moved"] == 0.0
+        assert tracker.history[1]["fraction_moved"] == 0.0
+        # 96 elements over 12 parts divides evenly -> LB = 0 exactly.
+        assert tracker.history[0]["lb"] == 0.0
+        assert tracker.history[1]["lb"] == 0.0
+
+    def test_nparts_exceeding_k_degenerate(self, curve):
+        """More parts than elements cannot yield non-empty segments."""
+        k = len(curve)
+        tracker = LoadTracker(curve, nparts=k + 1)
+        with pytest.raises(ValueError, match="more parts"):
+            tracker.update(np.ones(k))
+        assert tracker.current is None  # failed update records nothing
+        assert tracker.history == []
+
+    def test_nparts_equal_k_single_element_parts(self, curve):
+        """nparts == K is the extreme legal cut: one element each."""
+        k = len(curve)
+        tracker = LoadTracker(curve, nparts=k)
+        p = tracker.update(np.ones(k))
+        p.validate()
+        assert np.array_equal(np.sort(p.assignment), np.arange(k))
+        assert tracker.history[0]["lb"] == 0.0

@@ -1,0 +1,116 @@
+"""Unit tests for the content-addressed partition cache."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.service import PartitionCache, PartitionRequest, compute_response
+
+
+@pytest.fixture()
+def req():
+    return PartitionRequest(ne=2, nparts=4)
+
+
+@pytest.fixture()
+def resp(req):
+    return compute_response(req)
+
+
+class TestMemoryTier:
+    def test_miss_then_hit(self, req, resp):
+        cache = PartitionCache()
+        assert cache.get(req) is None
+        cache.put(req, resp)
+        hit = cache.get(req)
+        assert hit is not None
+        assert hit.source == "memory"
+        assert np.array_equal(hit.assignment, resp.assignment)
+        assert cache.stats() == {
+            "memory_hits": 1,
+            "disk_hits": 0,
+            "misses": 1,
+            "stores": 1,
+            "hit_rate": 0.5,
+            "memory_entries": 1,
+        }
+
+    def test_contains(self, req, resp):
+        cache = PartitionCache()
+        assert req not in cache
+        cache.put(req, resp)
+        assert req in cache
+
+    def test_lru_eviction(self):
+        cache = PartitionCache(capacity=2)
+        reqs = [PartitionRequest(ne=2, nparts=n) for n in (2, 3, 4)]
+        for r in reqs:
+            cache.put(r, compute_response(r))
+        assert len(cache) == 2
+        assert cache.get(reqs[0]) is None  # oldest evicted
+        assert cache.get(reqs[2]) is not None
+
+    def test_lru_touch_on_get(self):
+        cache = PartitionCache(capacity=2)
+        a, b, c = (PartitionRequest(ne=2, nparts=n) for n in (2, 3, 4))
+        cache.put(a, compute_response(a))
+        cache.put(b, compute_response(b))
+        cache.get(a)  # refresh a; b becomes LRU
+        cache.put(c, compute_response(c))
+        assert cache.get(a) is not None
+        assert cache.get(b) is None
+
+    def test_capacity_validated(self):
+        with pytest.raises(ValueError, match="capacity"):
+            PartitionCache(capacity=0)
+
+
+class TestDiskTier:
+    def test_survives_process_memory(self, tmp_path, req, resp):
+        PartitionCache(cache_dir=tmp_path).put(req, resp)
+        fresh = PartitionCache(cache_dir=tmp_path)  # empty memory tier
+        hit = fresh.get(req)
+        assert hit is not None
+        assert hit.source == "disk"
+        assert np.array_equal(hit.assignment, resp.assignment)
+        assert hit.metrics == resp.metrics
+
+    def test_disk_hit_promoted_to_memory(self, tmp_path, req, resp):
+        PartitionCache(cache_dir=tmp_path).put(req, resp)
+        fresh = PartitionCache(cache_dir=tmp_path)
+        assert fresh.get(req).source == "disk"
+        assert fresh.get(req).source == "memory"
+
+    def test_clear_memory_keeps_disk(self, tmp_path, req, resp):
+        cache = PartitionCache(cache_dir=tmp_path)
+        cache.put(req, resp)
+        cache.clear_memory()
+        assert len(cache) == 0
+        assert cache.get(req).source == "disk"
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path, req, resp):
+        cache = PartitionCache(cache_dir=tmp_path)
+        cache.put(req, resp)
+        path = cache._path(req.cache_key())
+        path.write_bytes(b"not an npz")
+        cache.clear_memory()
+        assert cache.get(req) is None
+
+    def test_mismatched_entry_is_a_miss(self, tmp_path, req, resp):
+        """An entry whose stored request differs is never served."""
+        cache = PartitionCache(cache_dir=tmp_path)
+        cache.put(req, resp)
+        other = PartitionRequest(ne=2, nparts=6)
+        # Simulate a (cosmically unlikely) hash collision by renaming.
+        cache._path(req.cache_key()).rename(cache._path(other.cache_key()))
+        cache.clear_memory()
+        assert cache.get(other) is None
+
+    def test_no_dir_until_first_store(self, tmp_path, req, resp):
+        target = tmp_path / "sub" / "cache"
+        cache = PartitionCache(cache_dir=target)
+        assert cache.get(req) is None  # lookup must not create dirs
+        assert not target.exists()
+        cache.put(req, resp)
+        assert target.is_dir()

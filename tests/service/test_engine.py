@@ -1,0 +1,116 @@
+"""Engine tests: batching, dedup, parallelism, cache integration.
+
+Includes the subsystem's acceptance check: a 20-request sweep batch is
+bit-identical to serial in-process partitioning, and a second run
+against a warm disk cache answers (almost) everything from cache.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.experiments import make_partition
+from repro.service import PartitionCache, PartitionEngine, PartitionRequest
+
+
+def sweep_requests(ne: int = 4) -> list[PartitionRequest]:
+    """A 20-point (method x nparts) sweep, the acceptance workload."""
+    return [
+        PartitionRequest(ne=ne, nparts=nparts, method=method)
+        for method in ("sfc", "rb", "kway", "tv")
+        for nparts in (4, 8, 12, 24, 48)
+    ]
+
+
+class TestEngineBasics:
+    def test_serve_single(self):
+        resp = PartitionEngine().serve(PartitionRequest(ne=2, nparts=4))
+        assert resp.source == "computed"
+        assert resp.to_partition().nparts == 4
+
+    def test_jobs_validated(self):
+        with pytest.raises(ValueError, match="jobs"):
+            PartitionEngine(jobs=0)
+
+    def test_empty_batch(self):
+        assert PartitionEngine().run([]) == []
+
+    def test_responses_align_with_requests(self):
+        reqs = [PartitionRequest(ne=2, nparts=n) for n in (6, 2, 4)]
+        responses = PartitionEngine().run(reqs)
+        assert [r.request.nparts for r in responses] == [6, 2, 4]
+
+    def test_batch_deduplicates(self):
+        engine = PartitionEngine()
+        req = PartitionRequest(ne=2, nparts=4)
+        responses = engine.run([req, req, req])
+        assert len(responses) == 3
+        assert engine.cache.stores == 1  # computed once
+        assert [r.source for r in responses] == ["computed", "dedup", "dedup"]
+        assert engine.stats.count("computed") == 1  # no double-counted time
+        assert all(
+            np.array_equal(r.assignment, responses[0].assignment)
+            for r in responses
+        )
+
+    def test_second_batch_hits_memory(self):
+        engine = PartitionEngine()
+        req = PartitionRequest(ne=2, nparts=4)
+        engine.run([req])
+        (resp,) = engine.run([req])
+        assert resp.source == "memory"
+        assert engine.stats.hit_rate == 0.5  # 1 of 2 served from cache
+
+
+class TestAcceptance:
+    """ISSUE acceptance criteria for the serving subsystem."""
+
+    def test_batch_bit_identical_to_serial(self):
+        """Parallel batched serving == serial `repro partition` calls."""
+        reqs = sweep_requests()
+        assert len(reqs) == 20
+        engine = PartitionEngine(jobs=2)
+        responses = engine.run(reqs)
+        for req, resp in zip(reqs, responses):
+            serial = make_partition(req.ne, req.nparts, req.method, seed=req.seed)
+            assert np.array_equal(resp.assignment, serial.assignment), req
+
+    def test_warm_disk_cache_hit_rate(self, tmp_path):
+        reqs = sweep_requests()
+        cold = PartitionEngine(PartitionCache(cache_dir=tmp_path), jobs=2)
+        cold_responses = cold.run(reqs)
+        assert cold.stats.hit_rate == 0.0
+        # Fresh engine + fresh memory tier: only the disk store is warm.
+        warm = PartitionEngine(PartitionCache(cache_dir=tmp_path))
+        warm_responses = warm.run(reqs)
+        assert warm.stats.hit_rate >= 0.95
+        assert warm.stats.count("computed") == 0
+        for a, b in zip(cold_responses, warm_responses):
+            assert np.array_equal(a.assignment, b.assignment)
+            assert a.metrics == b.metrics
+
+
+class TestParallelExecution:
+    def test_parallel_matches_inline(self):
+        reqs = [
+            PartitionRequest(ne=2, nparts=nparts, method=method)
+            for method in ("sfc", "rb")
+            for nparts in (2, 4, 6, 12)
+        ]
+        inline = PartitionEngine(jobs=1).run(reqs)
+        parallel = PartitionEngine(jobs=2).run(reqs)
+        for a, b in zip(inline, parallel):
+            assert np.array_equal(a.assignment, b.assignment)
+            assert a.metrics == b.metrics
+
+    def test_stats_track_workers(self):
+        engine = PartitionEngine(jobs=2)
+        engine.run([PartitionRequest(ne=2, nparts=n) for n in (2, 3, 4, 6)])
+        stats = engine.stats
+        assert stats.jobs == 2
+        assert stats.count("computed") == 4
+        assert stats.wall_s > 0
+        assert stats.compute_s > 0
+        assert 0 < stats.worker_utilization <= 1
+        assert stats.throughput > 0

@@ -1,0 +1,158 @@
+"""Unit tests for the partition service request/response schema."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.service import (
+    METRIC_FIELDS,
+    PartitionRequest,
+    PartitionResponse,
+    compute_response,
+    load_request_file,
+)
+
+
+class TestPartitionRequest:
+    def test_defaults(self):
+        req = PartitionRequest(ne=4, nparts=8)
+        assert req.method == "sfc"
+        assert req.seed == 0
+        assert req.schedule is None
+        assert req.k == 96
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="ne must be"):
+            PartitionRequest(ne=0, nparts=1)
+        with pytest.raises(ValueError, match="nparts must be"):
+            PartitionRequest(ne=4, nparts=0)
+        with pytest.raises(ValueError, match="nparts must be"):
+            PartitionRequest(ne=4, nparts=97)  # K = 96
+        with pytest.raises(ValueError, match="unknown method"):
+            PartitionRequest(ne=4, nparts=8, method="magic")
+        with pytest.raises(ValueError, match="must be an integer"):
+            PartitionRequest(ne=4.5, nparts=8)
+
+    def test_numpy_ints_normalized(self):
+        req = PartitionRequest(ne=np.int64(4), nparts=np.int32(8))
+        assert isinstance(req.ne, int) and isinstance(req.nparts, int)
+        assert req == PartitionRequest(ne=4, nparts=8)
+
+    def test_cache_key_canonical(self):
+        a = PartitionRequest(ne=4, nparts=8, method="sfc", seed=0)
+        b = PartitionRequest(ne=np.int64(4), nparts=8)
+        assert a.cache_key() == b.cache_key()
+        assert len(a.cache_key()) == 64  # sha256 hex
+
+    def test_cache_key_distinguishes_fields(self):
+        base = PartitionRequest(ne=4, nparts=8)
+        variants = [
+            PartitionRequest(ne=8, nparts=8),
+            PartitionRequest(ne=4, nparts=12),
+            PartitionRequest(ne=4, nparts=8, method="rb"),
+            PartitionRequest(ne=4, nparts=8, seed=1),
+            PartitionRequest(ne=4, nparts=8, schedule="HH"),
+        ]
+        keys = {base.cache_key()} | {v.cache_key() for v in variants}
+        assert len(keys) == 6
+
+    def test_json_round_trip(self):
+        req = PartitionRequest(ne=4, nparts=8, method="kway", seed=3)
+        assert PartitionRequest.from_json(req.to_json()) == req
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ValueError, match="unknown request fields"):
+            PartitionRequest.from_dict({"ne": 4, "nparts": 8, "foo": 1})
+        with pytest.raises(ValueError, match="at least"):
+            PartitionRequest.from_dict({"ne": 4})
+
+
+class TestPartitionResponse:
+    def test_compute_response_has_full_metrics(self):
+        resp = compute_response(PartitionRequest(ne=2, nparts=4))
+        assert set(METRIC_FIELDS) <= set(resp.metrics)
+        assert resp.source == "computed"
+        assert resp.elapsed_s > 0
+        assert resp.assignment.shape == (24,)
+
+    def test_matches_direct_evaluation(self):
+        from repro.experiments import make_partition
+        from repro.graphs import mesh_graph
+        from repro.cubesphere import cubed_sphere_mesh
+        from repro.partition import evaluate_partition
+        from repro.seam import DEFAULT_COST_MODEL
+
+        req = PartitionRequest(ne=4, nparts=12, method="rb")
+        resp = compute_response(req)
+        part = make_partition(4, 12, "rb")
+        assert np.array_equal(resp.assignment, part.assignment)
+        graph = mesh_graph(
+            cubed_sphere_mesh(4),
+            edge_weight=DEFAULT_COST_MODEL.npts,
+            corner_weight=1,
+        )
+        q = evaluate_partition(graph, part)
+        assert resp.metrics["edgecut"] == q.edgecut
+        assert resp.metrics["lb_spcv"] == q.lb_spcv
+
+    def test_validates_assignment(self):
+        req = PartitionRequest(ne=2, nparts=4)
+        good = compute_response(req)
+        with pytest.raises(ValueError, match="shape"):
+            PartitionResponse(req, good.assignment[:-1], good.metrics)
+        bad = good.assignment.copy()
+        bad[0] = 99
+        with pytest.raises(ValueError, match="out-of-range"):
+            PartitionResponse(req, bad, good.metrics)
+        with pytest.raises(ValueError, match="metrics missing"):
+            PartitionResponse(req, good.assignment, {"edgecut": 1})
+
+    def test_json_round_trip(self):
+        resp = compute_response(PartitionRequest(ne=2, nparts=6, seed=2))
+        back = PartitionResponse.from_json(resp.to_json())
+        assert back.request == resp.request
+        assert np.array_equal(back.assignment, resp.assignment)
+        assert back.metrics == resp.metrics
+
+    def test_to_partition(self):
+        resp = compute_response(PartitionRequest(ne=2, nparts=4, method="block"))
+        part = resp.to_partition()
+        part.validate()
+        assert part.method == "block"
+        assert part.nparts == 4
+
+
+class TestLoadRequestFile:
+    def test_json_list(self, tmp_path):
+        path = tmp_path / "reqs.json"
+        path.write_text(json.dumps([{"ne": 4, "nparts": 8}, {"ne": 4, "nparts": 12}]))
+        reqs = load_request_file(path)
+        assert [r.nparts for r in reqs] == [8, 12]
+
+    def test_json_wrapper(self, tmp_path):
+        path = tmp_path / "reqs.json"
+        path.write_text(json.dumps({"requests": [{"ne": 2, "nparts": 4, "seed": 7}]}))
+        (req,) = load_request_file(path)
+        assert req.seed == 7
+
+    def test_csv(self, tmp_path):
+        path = tmp_path / "reqs.csv"
+        path.write_text("ne,nparts,method,seed\n4,8,,\n4,12,rb,3\n")
+        reqs = load_request_file(path)
+        assert reqs[0] == PartitionRequest(ne=4, nparts=8)
+        assert reqs[1] == PartitionRequest(ne=4, nparts=12, method="rb", seed=3)
+
+    def test_empty_rejected(self, tmp_path):
+        path = tmp_path / "reqs.json"
+        path.write_text("[]")
+        with pytest.raises(ValueError, match="no requests"):
+            load_request_file(path)
+
+    def test_non_list_rejected(self, tmp_path):
+        path = tmp_path / "reqs.json"
+        path.write_text('{"nope": 1}')
+        with pytest.raises(ValueError, match="expected a JSON list"):
+            load_request_file(path)

@@ -2,6 +2,8 @@
 
 from __future__ import annotations
 
+import json
+
 import pytest
 
 from repro.cli import build_parser, main
@@ -11,6 +13,21 @@ class TestParser:
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
+
+    def test_no_args_exits_2_with_usage(self, capsys):
+        """``python -m repro`` must exit 2 and print usage, no traceback."""
+        with pytest.raises(SystemExit) as exc:
+            main([])
+        assert exc.value.code == 2
+        assert "usage: repro" in capsys.readouterr().err
+
+    def test_version_flag(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            main(["--version"])
+        assert exc.value.code == 0
+        out = capsys.readouterr().out
+        assert out.startswith("repro ")
+        assert out.split()[1][0].isdigit()
 
     def test_curve_requires_selector(self):
         with pytest.raises(SystemExit):
@@ -89,6 +106,122 @@ class TestPartitionCommand:
 
         g = read_metis_graph(graph)
         assert g.nvertices == 24
+
+    def test_write_assignment_creates_parents(self, tmp_path, capsys):
+        target = tmp_path / "deep" / "nested" / "assign.csv"
+        assert main(
+            [
+                "partition", "--ne", "2", "--nparts", "4",
+                "--write-assignment", str(target),
+            ]
+        ) == 0
+        assert target.read_text().splitlines()[0] == "gid,part"
+
+    def test_write_assignment_unwritable_clean_error(self, tmp_path, capsys):
+        # A parent that is a regular file is unwritable for any user
+        # (including root), unlike chmod-based read-only directories.
+        blocker = tmp_path / "blocker"
+        blocker.write_text("i am a file")
+        with pytest.raises(SystemExit) as exc:
+            main(
+                [
+                    "partition", "--ne", "2", "--nparts", "4",
+                    "--write-assignment", str(blocker / "sub" / "assign.csv"),
+                ]
+            )
+        message = str(exc.value.code)
+        assert "cannot write assignment" in message
+        assert "Traceback" not in message
+
+    def test_cache_dir_round_trip(self, tmp_path, capsys):
+        argv = [
+            "partition", "--ne", "2", "--nparts", "6", "--csv",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]
+        assert main(argv) == 0
+        cold = capsys.readouterr().out
+        assert main(argv) == 0  # served from the on-disk cache
+        warm = capsys.readouterr().out
+        assert warm == cold
+        assert any((tmp_path / "cache").glob("*.npz"))
+
+
+class TestBatchCommand:
+    def write_requests(self, tmp_path):
+        path = tmp_path / "reqs.json"
+        path.write_text(
+            json.dumps(
+                [
+                    {"ne": 2, "nparts": 4},
+                    {"ne": 2, "nparts": 6, "method": "rb"},
+                    {"ne": 2, "nparts": 4},  # duplicate: deduplicated
+                ]
+            )
+        )
+        return path
+
+    def test_table_output(self, tmp_path, capsys):
+        assert main(["batch", str(self.write_requests(tmp_path))]) == 0
+        out = capsys.readouterr().out
+        assert "Batch of 3 requests" in out
+        assert "lb_nelemd" in out
+        assert "rb" in out
+
+    def test_csv_and_stats(self, tmp_path, capsys):
+        assert main(
+            ["batch", str(self.write_requests(tmp_path)), "--csv", "--stats"]
+        ) == 0
+        out = capsys.readouterr().out
+        lines = out.splitlines()
+        assert lines[0].startswith("ne,nparts,method,seed,source")
+        assert len([ln for ln in lines if ln.startswith("2,")]) == 3
+        assert "Partition service stats" in out
+
+    def test_csv_request_file(self, tmp_path, capsys):
+        path = tmp_path / "reqs.csv"
+        path.write_text("ne,nparts,method\n2,4,sfc\n2,6,block\n")
+        assert main(["batch", str(path), "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "2,6,block" in out
+
+    def test_warm_cache_reports_hits(self, tmp_path, capsys):
+        reqs = self.write_requests(tmp_path)
+        cache = str(tmp_path / "cache")
+        assert main(["batch", str(reqs), "--cache-dir", cache]) == 0
+        capsys.readouterr()
+        assert main(["batch", str(reqs), "--cache-dir", cache, "--csv"]) == 0
+        out = capsys.readouterr().out
+        assert "computed" not in out  # every request served from cache
+        assert "disk" in out
+
+    def test_write_assignments_match_partition_command(self, tmp_path, capsys):
+        reqs = self.write_requests(tmp_path)
+        outdir = tmp_path / "assignments"
+        assert main(
+            ["batch", str(reqs), "--write-assignments", str(outdir)]
+        ) == 0
+        files = sorted(outdir.glob("*.csv"))
+        assert len(files) == 3
+        serial = tmp_path / "serial.csv"
+        assert main(
+            [
+                "partition", "--ne", "2", "--nparts", "4",
+                "--write-assignment", str(serial),
+            ]
+        ) == 0
+        assert files[0].read_text() == serial.read_text()
+
+    def test_missing_file_clean_error(self, tmp_path):
+        with pytest.raises(SystemExit) as exc:
+            main(["batch", str(tmp_path / "nope.json")])
+        assert "not found" in str(exc.value.code)
+
+    def test_bad_file_clean_error(self, tmp_path):
+        bad = tmp_path / "bad.json"
+        bad.write_text('{"nope": 1}')
+        with pytest.raises(SystemExit) as exc:
+            main(["batch", str(bad)])
+        assert "expected a JSON list" in str(exc.value.code)
 
 
 class TestSweepCommand:
