@@ -9,7 +9,6 @@ constants, the shape does not).
 
 from __future__ import annotations
 
-import os
 import sys
 from pathlib import Path
 
@@ -17,15 +16,15 @@ sys.path.insert(0, str(Path(__file__).parent))
 from _sweep import sweep_and_render
 
 from repro.experiments import run_method
-from repro.service import PartitionEngine
 
 NE = 8
 
 
-def test_fig07_reproduction(benchmark, save_artifact):
-    # Served through the partition engine: the whole sweep is one
-    # deduplicated batch fanned out over worker processes.
-    engine = PartitionEngine(jobs=min(4, os.cpu_count() or 1))
+def test_fig07_reproduction(benchmark, save_artifact, shared_engine):
+    # Served through the session-shared partition engine: the whole
+    # sweep is one deduplicated batch fanned out over a worker pool
+    # that persists across the figure benches.
+    engine = shared_engine
     text, data = benchmark.pedantic(
         sweep_and_render,
         args=(NE, "speedup", "Figure 7: speedup, K=384, SFC vs best METIS"),

@@ -19,11 +19,12 @@ from repro.experiments import resolution_by_k, run_method
 NE = 9
 
 
-def test_fig08_reproduction(benchmark, save_artifact):
+def test_fig08_reproduction(benchmark, save_artifact, shared_engine):
     assert resolution_by_k(486).curve_family == "m-peano"
     text, data = benchmark.pedantic(
         sweep_and_render,
         args=(NE, "speedup", "Figure 8: speedup, K=486, SFC (m-Peano) vs best METIS"),
+        kwargs={"engine": shared_engine},
         rounds=1,
         iterations=1,
     )

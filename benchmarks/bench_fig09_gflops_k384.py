@@ -21,10 +21,11 @@ from repro.experiments import run_method
 NE = 8
 
 
-def test_fig09_reproduction(benchmark, save_artifact):
+def test_fig09_reproduction(benchmark, save_artifact, shared_engine):
     text, data = benchmark.pedantic(
         sweep_and_render,
         args=(NE, "gflops", "Figure 9: sustained Gflop/s, K=384, SFC vs best METIS"),
+        kwargs={"engine": shared_engine},
         rounds=1,
         iterations=1,
     )

@@ -8,7 +8,6 @@ ahead at 768 by a double-digit margin).
 
 from __future__ import annotations
 
-import os
 import sys
 from pathlib import Path
 
@@ -16,15 +15,15 @@ sys.path.insert(0, str(Path(__file__).parent))
 from _sweep import sweep_and_render
 
 from repro.experiments import run_method
-from repro.service import PartitionEngine
 
 NE = 16
 
 
-def test_fig10_reproduction(benchmark, save_artifact):
+def test_fig10_reproduction(benchmark, save_artifact, shared_engine):
     # The heaviest figure sweep in the suite — served as one parallel
-    # batch through the partition engine.
-    engine = PartitionEngine(jobs=min(4, os.cpu_count() or 1))
+    # batch through the session-shared partition engine (the pool is
+    # forked once for the whole bench session).
+    engine = shared_engine
     text, data = benchmark.pedantic(
         sweep_and_render,
         args=(NE, "gflops", "Figure 10: sustained Gflop/s, K=1536, SFC vs best METIS"),

@@ -70,3 +70,5 @@ def test_service_cache_throughput(tmp_path, save_artifact):
     # Acceptance: warm pass >= 95% hits and >= 5x lower wall time.
     assert warm_engine.stats.hit_rate >= 0.95
     assert cold_s / warm_s >= 5.0
+    cold_engine.close()
+    warm_engine.close()

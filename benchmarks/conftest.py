@@ -4,10 +4,17 @@ Every bench regenerates one table or figure of the paper, times the
 partitioning work with pytest-benchmark, and writes the reproduced
 table/series to ``benchmarks/results/<name>.txt`` so the reproduction
 artifacts survive the run (pytest captures stdout).
+
+The suite also emits machine-readable timings: at session end, every
+bench module that ran gets ``benchmarks/results/<module>.json`` with
+the pytest-benchmark statistics (min/mean/stddev/rounds per test) — the
+input of the perf-regression harness (``benchmarks/perf_smoke.py`` and
+the CI perf-smoke job).
 """
 
 from __future__ import annotations
 
+import json
 from pathlib import Path
 
 import pytest
@@ -20,10 +27,68 @@ def save_artifact():
     """Write a named reproduction artifact and echo it to stdout."""
     RESULTS_DIR.mkdir(exist_ok=True)
 
-    def _save(name: str, text: str) -> Path:
+    def _save(name: str, text: str, data: dict | None = None) -> Path:
         path = RESULTS_DIR / f"{name}.txt"
         path.write_text(text + "\n")
+        if data is not None:
+            (RESULTS_DIR / f"{name}.data.json").write_text(
+                json.dumps(data, indent=2, sort_keys=True, default=str) + "\n"
+            )
         print(f"\n[{name}] -> {path}\n{text}")
         return path
 
     return _save
+
+
+@pytest.fixture(scope="session")
+def shared_engine():
+    """One partition engine for the whole bench session.
+
+    The figure sweeps (fig07-fig10) all fan out over a process pool;
+    sharing a single engine means one pool (forked once, reused for
+    every batch) and one in-memory cache across the whole suite.
+    """
+    import os
+
+    from repro.service import PartitionEngine
+
+    engine = PartitionEngine(jobs=min(4, os.cpu_count() or 1))
+    yield engine
+    engine.close()
+
+
+def _timing_entry(bench) -> dict:
+    """One benchmark's stats, flattened for the results JSON."""
+    entry = {
+        "name": bench.name,
+        "fullname": bench.fullname,
+        "group": bench.group,
+        "params": bench.params,
+    }
+    stats = getattr(bench, "stats", None)
+    if stats is not None:
+        for field in ("min", "max", "mean", "stddev", "median", "rounds"):
+            value = getattr(stats, field, None)
+            if value is not None:
+                entry[field] = value
+    return entry
+
+
+def pytest_sessionfinish(session, exitstatus):
+    """Write per-module timing JSON for every bench that ran."""
+    bench_session = getattr(session.config, "_benchmarksession", None)
+    if bench_session is None or not bench_session.benchmarks:
+        return
+    by_module: dict[str, list[dict]] = {}
+    for bench in bench_session.benchmarks:
+        module = Path(bench.fullname.split("::", 1)[0]).stem
+        try:
+            by_module.setdefault(module, []).append(_timing_entry(bench))
+        except Exception:  # noqa: BLE001 - never fail the run on telemetry
+            continue
+    RESULTS_DIR.mkdir(exist_ok=True)
+    for module, entries in by_module.items():
+        payload = {"module": module, "benchmarks": entries}
+        (RESULTS_DIR / f"{module}.json").write_text(
+            json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
+        )

@@ -1,0 +1,147 @@
+#!/usr/bin/env python
+"""Perf-regression smoke harness (small K, suitable for CI).
+
+Times the kernelized hot paths at K=96 — the three METIS partitioners,
+the SFC partitioner, the halo-schedule build, and a partitioned DSS
+apply — and compares each against the committed baseline
+(``benchmarks/perf_baseline.json``).  Any timing more than ``--tolerance``
+times its baseline (default 3x, loose enough for machine-to-machine
+variation but tight enough to catch a de-kernelized hot path) fails the
+run with a per-metric report.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/perf_smoke.py                  # check
+    PYTHONPATH=src python benchmarks/perf_smoke.py --write-baseline # re-pin
+
+Always writes the measured timings to
+``benchmarks/results/perf_smoke.json`` (the CI job uploads that
+directory as an artifact).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from time import perf_counter
+
+HERE = Path(__file__).resolve().parent
+sys.path.insert(0, str(HERE.parent / "src"))
+
+NE = 4  # K = 6 * NE^2 = 96 elements
+NPARTS = 48
+BASELINE_PATH = HERE / "perf_baseline.json"
+RESULTS_PATH = HERE / "results" / "perf_smoke.json"
+
+
+def _best_of(fn, repeats: int = 5) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = perf_counter()
+        fn()
+        best = min(best, perf_counter() - t0)
+    return best
+
+
+def measure() -> dict[str, float]:
+    """Best-of-5 wall seconds for each smoke metric."""
+    import numpy as np
+
+    from repro.cubesphere import cubed_sphere_mesh
+    from repro.graphs import mesh_graph
+    from repro.metis import part_graph
+    from repro.partition import sfc_partition
+    from repro.seam import PartitionedDSS, build_geometry, build_point_map
+    from repro.seam.dss import build_halo_schedule
+
+    graph = mesh_graph(cubed_sphere_mesh(NE))
+    timings: dict[str, float] = {}
+    for method in ("rb", "kway", "tv"):
+        part_graph(graph, NPARTS, method)  # warm (kernel build, caches)
+        timings[f"metis_{method}"] = _best_of(
+            lambda m=method: part_graph(graph, NPARTS, m)
+        )
+    timings["sfc"] = _best_of(lambda: sfc_partition(NE, NPARTS))
+    geom = build_geometry(NE, 4)
+    pmap = build_point_map(geom)
+    part = sfc_partition(NE, NPARTS)
+    build_halo_schedule(pmap, part)
+    timings["halo_schedule"] = _best_of(lambda: build_halo_schedule(pmap, part))
+    pdss = PartitionedDSS(geom, part, point_map=pmap)
+    q = np.random.default_rng(0).standard_normal(pdss.local_mass.shape)
+    pdss.apply(q)
+    timings["pdss_apply"] = _best_of(lambda: pdss.apply(q))
+    return timings
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help=f"write the measured timings to {BASELINE_PATH.name} and exit",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=3.0,
+        help="fail when a timing exceeds tolerance x baseline (default 3)",
+    )
+    args = parser.parse_args(argv)
+
+    timings = measure()
+    RESULTS_PATH.parent.mkdir(exist_ok=True)
+    RESULTS_PATH.write_text(
+        json.dumps(
+            {"k": 6 * NE * NE, "nparts": NPARTS, "seconds": timings},
+            indent=2,
+            sort_keys=True,
+        )
+        + "\n"
+    )
+    print(f"wrote {RESULTS_PATH}")
+
+    if args.write_baseline:
+        BASELINE_PATH.write_text(
+            json.dumps(
+                {"k": 6 * NE * NE, "nparts": NPARTS, "seconds": timings},
+                indent=2,
+                sort_keys=True,
+            )
+            + "\n"
+        )
+        print(f"wrote {BASELINE_PATH}")
+        return 0
+
+    if not BASELINE_PATH.exists():
+        print(f"no baseline at {BASELINE_PATH}; run with --write-baseline")
+        return 1
+    baseline = json.loads(BASELINE_PATH.read_text())["seconds"]
+    failures: list[str] = []
+    for name, seconds in sorted(timings.items()):
+        base = baseline.get(name)
+        if base is None:
+            print(f"{name:20s} {1e3 * seconds:8.2f} ms  (no baseline)")
+            continue
+        ratio = seconds / base if base > 0 else float("inf")
+        verdict = "ok" if ratio <= args.tolerance else "REGRESSION"
+        print(
+            f"{name:20s} {1e3 * seconds:8.2f} ms  baseline "
+            f"{1e3 * base:8.2f} ms  x{ratio:5.2f}  {verdict}"
+        )
+        if ratio > args.tolerance:
+            failures.append(name)
+    if failures:
+        print(
+            f"FAIL: {len(failures)} metric(s) slower than "
+            f"{args.tolerance:g}x baseline: {', '.join(failures)}"
+        )
+        return 1
+    print("perf smoke ok")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -35,6 +35,7 @@ from .partition import (
     load_balance,
     sfc_partition,
 )
+from .profiling import Profiler, profiled
 from .seam import DEFAULT_COST_MODEL, SEAMCostModel
 from .service import (
     PartitionCache,
@@ -66,6 +67,7 @@ __all__ = [
     "PartitionRequest",
     "PartitionResponse",
     "PerformanceModel",
+    "Profiler",
     "SEAMCostModel",
     "SpaceFillingCurve",
     "__version__",
@@ -80,5 +82,6 @@ __all__ = [
     "mesh_graph",
     "part_graph",
     "peano_curve",
+    "profiled",
     "sfc_partition",
 ]

@@ -1,0 +1,439 @@
+/* Hot-path kernels for the METIS-style partitioner.
+ *
+ * Compiled on demand by repro._native with the system C compiler and
+ * loaded through ctypes; every routine is an exact int64 re-statement
+ * of the pure-Python kernels in repro.metis.refine / repro.metis.initial
+ * (which remain the reference implementation and the fallback).
+ *
+ * Bit-identity contract: the Python kernels drain a lazy max-priority
+ * queue whose keys (-gain, insertion counter) are unique, so the pop
+ * order is exactly "highest gain first, FIFO within a gain value".
+ * The linked-list bucket queues below reproduce that order verbatim;
+ * all arithmetic is int64, matching Python's exact integers on every
+ * value these algorithms can produce.
+ */
+
+#include <stdint.h>
+#include <stdlib.h>
+#include <string.h>
+
+/* ------------------------------------------------------------------ */
+/* FM bisection refinement                                             */
+/* ------------------------------------------------------------------ */
+
+/* Runs the full pass loop of fm_refine_bisection (after the caller has
+ * handled rebalancing and the edgeless early exit).  `side` is updated
+ * in place.  Returns 0 on success, -1 on allocation failure (caller
+ * falls back to Python).
+ */
+int64_t fm_refine(
+    int64_t n,
+    const int64_t *indptr,
+    const int64_t *indices,
+    const int64_t *eweights,
+    const int64_t *vweights,
+    int64_t *side,
+    int64_t cap0, int64_t cap1,
+    int64_t pcap0, int64_t pcap1,
+    int64_t max_passes,
+    int64_t bound,
+    int64_t w0, int64_t w1)
+{
+    int64_t m2 = indptr[n];
+    int64_t nbuckets = 2 * bound + 1;
+    int64_t cap_entries = n + m2 + 1;
+    int64_t locked_mark = bound + 1;
+    int64_t *gain = malloc((size_t)n * sizeof(int64_t));
+    int64_t *head = malloc((size_t)nbuckets * sizeof(int64_t));
+    int64_t *tail = malloc((size_t)nbuckets * sizeof(int64_t));
+    int64_t *ev = malloc((size_t)cap_entries * sizeof(int64_t));
+    int64_t *enext = malloc((size_t)cap_entries * sizeof(int64_t));
+    int64_t *moves = malloc((size_t)n * sizeof(int64_t));
+    if (!gain || !head || !tail || !ev || !enext || !moves) {
+        free(gain); free(head); free(tail); free(ev); free(enext); free(moves);
+        return -1;
+    }
+
+    for (int64_t pass = 0; pass < max_passes; pass++) {
+        /* Seed gains and the bucket queue (ascending vertex order =
+         * the FIFO insertion order of the Python seeding). */
+        memset(head, 0xff, (size_t)nbuckets * sizeof(int64_t));
+        int64_t nentries = 0;
+        int64_t pending = 0;
+        int64_t maxg = -bound;
+        for (int64_t v = 0; v < n; v++) {
+            int64_t sv = side[v];
+            int64_t g = 0;
+            for (int64_t i = indptr[v]; i < indptr[v + 1]; i++)
+                g += (side[indices[i]] != sv) ? eweights[i] : -eweights[i];
+            gain[v] = g;
+            int64_t gi = g + bound;
+            int64_t e = nentries++;
+            ev[e] = v;
+            enext[e] = -1;
+            if (head[gi] < 0) head[gi] = e; else enext[tail[gi]] = e;
+            tail[gi] = e;
+            if (g > maxg) maxg = g;
+            pending++;
+        }
+
+        int64_t nmoves = 0, cum = 0, best_cum = 0, best_len = 0;
+        while (pending) {
+            while (head[maxg + bound] < 0) maxg--;
+            int64_t e = head[maxg + bound];
+            head[maxg + bound] = enext[e];
+            pending--;
+            int64_t v = ev[e];
+            if (gain[v] != maxg) continue; /* stale entry */
+            int64_t frm = side[v];
+            int64_t vw = vweights[v];
+            if (frm == 0) {
+                if (w1 + vw > pcap1) continue;
+                w0 -= vw; w1 += vw;
+            } else {
+                if (w0 + vw > pcap0) continue;
+                w1 -= vw; w0 += vw;
+            }
+            gain[v] = locked_mark;
+            side[v] = 1 - frm;
+            cum += maxg;
+            moves[nmoves++] = v;
+            if (cum > best_cum && w0 <= cap0 && w1 <= cap1) {
+                best_cum = cum;
+                best_len = nmoves;
+            }
+            for (int64_t i = indptr[v]; i < indptr[v + 1]; i++) {
+                int64_t u = indices[i];
+                int64_t g = gain[u];
+                if (g > bound) continue; /* locked */
+                int64_t w = eweights[i];
+                /* Edge u-v flips between internal and external. */
+                g += (side[u] == frm) ? 2 * w : -2 * w;
+                gain[u] = g;
+                int64_t gi = g + bound;
+                int64_t e2 = nentries++;
+                ev[e2] = u;
+                enext[e2] = -1;
+                if (head[gi] < 0) head[gi] = e2; else enext[tail[gi]] = e2;
+                tail[gi] = e2;
+                if (g > maxg) maxg = g;
+                pending++;
+            }
+        }
+        /* Roll back past the best feasible prefix. */
+        for (int64_t i = nmoves - 1; i >= best_len; i--) {
+            int64_t v = moves[i];
+            int64_t to = 1 - side[v];
+            int64_t vw = vweights[v];
+            side[v] = to;
+            if (to == 0) { w1 -= vw; w0 += vw; } else { w0 -= vw; w1 += vw; }
+        }
+        if (best_cum <= 0) break;
+    }
+
+    free(gain); free(head); free(tail); free(ev); free(enext); free(moves);
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Heavy-edge matching claim loop                                      */
+/* ------------------------------------------------------------------ */
+
+/* Sequential HEM claims in the given visit order: each unmatched
+ * vertex claims its heaviest unmatched neighbor (first in adjacency
+ * order on ties).  Returns 0 on success, -1 on allocation failure.
+ */
+int64_t hem_claim(
+    int64_t n,
+    const int64_t *indptr,
+    const int64_t *indices,
+    const int64_t *eweights,
+    const int64_t *order,
+    int64_t *match)
+{
+    uint8_t *matched = calloc((size_t)n, 1);
+    if (!matched) return -1;
+    for (int64_t v = 0; v < n; v++) match[v] = v;
+    for (int64_t t = 0; t < n; t++) {
+        int64_t v = order[t];
+        if (matched[v]) continue;
+        int64_t best_w = -1, best_u = -1;
+        for (int64_t i = indptr[v]; i < indptr[v + 1]; i++) {
+            int64_t u = indices[i];
+            if (!matched[u] && eweights[i] > best_w) {
+                best_w = eweights[i];
+                best_u = u;
+            }
+        }
+        if (best_u >= 0) {
+            match[v] = best_u;
+            match[best_u] = v;
+            matched[v] = 1;
+            matched[best_u] = 1;
+        }
+    }
+    free(matched);
+    return 0;
+}
+
+/* ------------------------------------------------------------------ */
+/* Induced subgraph extraction                                         */
+/* ------------------------------------------------------------------ */
+
+/* Induced subgraph on `verts` (must be strictly ascending, so local
+ * ids are monotone in global ids and each output adjacency row keeps
+ * the parent's sorted order — the exact arrays of the lexsort-based
+ * NumPy path).  Writes CSR arrays plus [max_incident, total_vweight,
+ * max_vweight] into out_scalars.  Returns the output edge count, -1
+ * on allocation failure, -2 if `verts` is not strictly ascending.
+ */
+int64_t subgraph_extract(
+    int64_t n_parent,
+    const int64_t *indptr,
+    const int64_t *indices,
+    const int64_t *eweights,
+    const int64_t *vweights,
+    const int64_t *verts,
+    int64_t k,
+    int64_t *out_indptr,
+    int64_t *out_indices,
+    int64_t *out_weights,
+    int64_t *out_vweights,
+    int64_t *out_scalars)
+{
+    for (int64_t i = 1; i < k; i++)
+        if (verts[i] <= verts[i - 1]) return -2;
+    int64_t *local = malloc((size_t)n_parent * sizeof(int64_t));
+    if (!local) return -1;
+    memset(local, 0xff, (size_t)n_parent * sizeof(int64_t));
+    for (int64_t i = 0; i < k; i++) local[verts[i]] = i;
+    int64_t nnz = 0, maxinc = 0, total_vw = 0, max_vw = 0;
+    out_indptr[0] = 0;
+    for (int64_t i = 0; i < k; i++) {
+        int64_t g = verts[i];
+        int64_t inc = 0;
+        for (int64_t j = indptr[g]; j < indptr[g + 1]; j++) {
+            int64_t li = local[indices[j]];
+            if (li >= 0) {
+                out_indices[nnz] = li;
+                out_weights[nnz] = eweights[j];
+                inc += eweights[j];
+                nnz++;
+            }
+        }
+        if (inc > maxinc) maxinc = inc;
+        out_indptr[i + 1] = nnz;
+        int64_t vw = vweights[g];
+        out_vweights[i] = vw;
+        total_vw += vw;
+        if (vw > max_vw) max_vw = vw;
+    }
+    free(local);
+    out_scalars[0] = maxinc;
+    out_scalars[1] = total_vw;
+    out_scalars[2] = max_vw;
+    return nnz;
+}
+
+/* ------------------------------------------------------------------ */
+/* Greedy graph growing (GGGP)                                         */
+/* ------------------------------------------------------------------ */
+
+/* BFS levels from `source` (no mask); `level` must hold n entries. */
+static void bfs_levels(
+    int64_t n,
+    const int64_t *indptr,
+    const int64_t *indices,
+    int64_t source,
+    int64_t *level,
+    int64_t *queue)
+{
+    for (int64_t i = 0; i < n; i++) level[i] = -1;
+    level[source] = 0;
+    queue[0] = source;
+    int64_t qh = 0, qt = 1;
+    while (qh < qt) {
+        int64_t v = queue[qh++];
+        int64_t lv = level[v] + 1;
+        for (int64_t i = indptr[v]; i < indptr[v + 1]; i++) {
+            int64_t u = indices[i];
+            if (level[u] < 0) {
+                level[u] = lv;
+                queue[qt++] = u;
+            }
+        }
+    }
+}
+
+/* George-Liu pseudo-peripheral vertex, starting from vertex 0. */
+static int64_t pseudo_peripheral(
+    int64_t n,
+    const int64_t *indptr,
+    const int64_t *indices,
+    int64_t *level,
+    int64_t *queue)
+{
+    int64_t current = 0;
+    int64_t ecc = -1;
+    for (;;) {
+        bfs_levels(n, indptr, indices, current, level, queue);
+        int64_t far = level[0];
+        for (int64_t i = 1; i < n; i++)
+            if (level[i] > far) far = level[i];
+        if (far <= ecc) return current;
+        ecc = far;
+        for (int64_t i = 0; i < n; i++)
+            if (level[i] == far) { current = i; break; }
+    }
+}
+
+/* One bucket-queue growth trial; mirrors _grow_trial_buckets.  Returns
+ * the growth cut and writes the side assignment (0 = grown side).
+ */
+static int64_t ggg_grow_one(
+    int64_t n,
+    const int64_t *indptr,
+    const int64_t *indices,
+    const int64_t *eweights,
+    const int64_t *vweights,
+    const int64_t *total_w,
+    int64_t start,
+    int64_t target_left,
+    int64_t bound,
+    int64_t *side,
+    int64_t *gain_cache,
+    uint8_t *frontier_seen,
+    int64_t *head,
+    int64_t *tail,
+    int64_t *ev,
+    int64_t *enext)
+{
+    int64_t nbuckets = 2 * bound + 1;
+    int64_t sent = bound + 1;
+    for (int64_t i = 0; i < n; i++) side[i] = 1;
+    memset(gain_cache, 0, (size_t)n * sizeof(int64_t));
+    memset(frontier_seen, 0, (size_t)n);
+    memset(head, 0xff, (size_t)nbuckets * sizeof(int64_t));
+    int64_t weight_left = 0;
+    int64_t cut = 0;
+    int64_t g0 = -total_w[start];
+    gain_cache[start] = g0;
+    frontier_seen[start] = 1;
+    int64_t nentries = 0;
+    ev[0] = start;
+    enext[0] = -1;
+    head[g0 + bound] = 0;
+    tail[g0 + bound] = 0;
+    nentries = 1;
+    int64_t pending = 1;
+    int64_t maxg = g0;
+    while (weight_left < target_left) {
+        int64_t v = -1;
+        while (pending) {
+            while (head[maxg + bound] < 0) maxg--;
+            int64_t e = head[maxg + bound];
+            head[maxg + bound] = enext[e];
+            pending--;
+            int64_t u = ev[e];
+            if (gain_cache[u] == maxg) { v = u; break; }
+        }
+        if (v < 0) {
+            /* Queue exhausted (component done): jump to the first
+             * unabsorbed vertex. */
+            for (int64_t u = 0; u < n; u++)
+                if (gain_cache[u] <= bound) { v = u; break; }
+            if (v < 0) break;
+            if (!frontier_seen[v]) {
+                /* No absorbed neighbors: absorbing adds its whole
+                 * incident weight to the cut. */
+                gain_cache[v] = -total_w[v];
+            }
+        }
+        side[v] = 0;
+        weight_left += vweights[v];
+        cut -= gain_cache[v];
+        gain_cache[v] = sent;
+        for (int64_t i = indptr[v]; i < indptr[v + 1]; i++) {
+            int64_t u = indices[i];
+            int64_t g = gain_cache[u];
+            if (g > bound) continue;
+            if (!frontier_seen[u]) {
+                g = -total_w[u];
+                frontier_seen[u] = 1;
+            }
+            g += 2 * eweights[i];
+            gain_cache[u] = g;
+            int64_t gi = g + bound;
+            int64_t e2 = nentries++;
+            ev[e2] = u;
+            enext[e2] = -1;
+            if (head[gi] < 0) head[gi] = e2; else enext[tail[gi]] = e2;
+            tail[gi] = e2;
+            if (g > maxg) maxg = g;
+            pending++;
+        }
+    }
+    return cut;
+}
+
+/* Full GGGP: ntrials growths (starts[t] < 0 means "pseudo-peripheral
+ * from vertex 0"), best (lowest, first-wins) cut kept.  Writes the
+ * winning side into `best_side`.  Returns 0 on success, -1 on
+ * allocation failure.
+ */
+int64_t ggg_partition(
+    int64_t n,
+    const int64_t *indptr,
+    const int64_t *indices,
+    const int64_t *eweights,
+    const int64_t *vweights,
+    const int64_t *starts,
+    int64_t ntrials,
+    int64_t target_left,
+    int64_t bound,
+    int64_t *best_side)
+{
+    int64_t m2 = indptr[n];
+    int64_t nbuckets = 2 * bound + 1;
+    int64_t cap_entries = m2 + 2;
+    int64_t *total_w = malloc((size_t)n * sizeof(int64_t));
+    int64_t *side = malloc((size_t)n * sizeof(int64_t));
+    int64_t *gain_cache = malloc((size_t)n * sizeof(int64_t));
+    uint8_t *frontier_seen = malloc((size_t)n);
+    int64_t *head = malloc((size_t)nbuckets * sizeof(int64_t));
+    int64_t *tail = malloc((size_t)nbuckets * sizeof(int64_t));
+    int64_t *ev = malloc((size_t)cap_entries * sizeof(int64_t));
+    int64_t *enext = malloc((size_t)cap_entries * sizeof(int64_t));
+    /* level/queue scratch for the pseudo-peripheral BFS reuses
+     * gain_cache/side before the trials start. */
+    if (!total_w || !side || !gain_cache || !frontier_seen ||
+        !head || !tail || !ev || !enext) {
+        free(total_w); free(side); free(gain_cache); free(frontier_seen);
+        free(head); free(tail); free(ev); free(enext);
+        return -1;
+    }
+    for (int64_t v = 0; v < n; v++) {
+        int64_t s = 0;
+        for (int64_t i = indptr[v]; i < indptr[v + 1]; i++) s += eweights[i];
+        total_w[v] = s;
+    }
+    int64_t best_cut = 0;
+    int has_best = 0;
+    for (int64_t t = 0; t < ntrials; t++) {
+        int64_t start = starts[t];
+        if (start < 0)
+            start = pseudo_peripheral(n, indptr, indices, gain_cache, side);
+        int64_t cut = ggg_grow_one(
+            n, indptr, indices, eweights, vweights, total_w,
+            start, target_left, bound,
+            side, gain_cache, frontier_seen, head, tail, ev, enext);
+        if (!has_best || cut < best_cut) {
+            has_best = 1;
+            best_cut = cut;
+            memcpy(best_side, side, (size_t)n * sizeof(int64_t));
+        }
+    }
+    free(total_w); free(side); free(gain_cache); free(frontier_seen);
+    free(head); free(tail); free(ev); free(enext);
+    return 0;
+}

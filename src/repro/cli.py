@@ -7,8 +7,13 @@ Subcommands mirror the library's main workflows:
   optionally write the assignment and the METIS-format graph;
 * ``batch``     — serve a JSON/CSV file of partition requests through
   the cached, parallel service engine;
+* ``profile``   — per-stage wall-time profile of a partition request
+  (coarsen/initial/refine/uncoarsen, cache, pool) as a table or JSON;
 * ``sweep``     — the paper's Figure 7-10 sweeps as a series table;
 * ``table2``    — the paper's Table 2 for any (Ne, Nproc).
+
+``partition`` and ``batch`` also accept ``--profile`` (print the same
+stage table after the normal output) and ``--profile-json PATH``.
 
 ``partition``, ``batch`` and ``sweep`` all accept ``--cache-dir`` (a
 persistent partition cache shared across invocations) and ``--jobs``
@@ -64,6 +69,21 @@ def _add_service_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_profile_flags(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="print a per-stage timing table after the normal output",
+    )
+    parser.add_argument(
+        "--profile-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the per-stage timing profile as JSON",
+    )
+
+
 def _make_engine(args: argparse.Namespace):
     """Build a service engine from the common CLI flags."""
     from .service import PartitionCache, PartitionEngine
@@ -113,6 +133,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--write-graph", type=Path, help="write the element graph (METIS format)"
     )
     _add_service_flags(p_part)
+    _add_profile_flags(p_part)
 
     p_batch = sub.add_parser(
         "batch", help="serve a file of partition requests via the engine"
@@ -134,6 +155,29 @@ def build_parser() -> argparse.ArgumentParser:
         help="write one gid,part CSV per request into DIR",
     )
     _add_service_flags(p_batch)
+    _add_profile_flags(p_batch)
+
+    p_prof = sub.add_parser(
+        "profile", help="per-stage timing profile of one partition request"
+    )
+    p_prof.add_argument("--ne", type=int, required=True)
+    p_prof.add_argument("--nparts", type=int, required=True)
+    p_prof.add_argument(
+        "--method",
+        default="rb",
+        choices=["sfc", "rb", "kway", "tv", "rcb", "block", "random"],
+    )
+    p_prof.add_argument("--seed", type=int, default=0)
+    p_prof.add_argument(
+        "--repeat",
+        type=_positive_int,
+        default=1,
+        help="serve the request this many times (repeats exercise the cache)",
+    )
+    p_prof.add_argument(
+        "--json", type=Path, default=None, help="write the profile as JSON"
+    )
+    _add_service_flags(p_prof)
 
     p_sweep = sub.add_parser("sweep", help="speedup/Gflops sweep (Figs. 7-10)")
     p_sweep.add_argument("--ne", type=int, required=True)
@@ -210,14 +254,51 @@ def _write_assignment_csv(path: Path, assignment) -> None:
     print(f"wrote {path}", file=sys.stderr)
 
 
+def _write_profile_json(path: Path, prof, **meta) -> None:
+    try:
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(prof.to_json(**meta))
+    except OSError as exc:
+        raise SystemExit(
+            f"repro: error: cannot write profile to '{path}': {exc.strerror or exc}"
+        ) from exc
+    print(f"wrote {path}", file=sys.stderr)
+
+
+def _run_profiled(args: argparse.Namespace, body, **meta) -> int:
+    """Run a handler body, optionally under the stage profiler."""
+    if not (args.profile or args.profile_json):
+        return body()
+    from .profiling import profiled
+
+    with profiled() as prof:
+        rc = body()
+    print()
+    print(prof.render(title=f"Stage profile: {args.command}"))
+    if args.profile_json:
+        _write_profile_json(args.profile_json, prof, command=args.command, **meta)
+    return rc
+
+
 def _cmd_partition(args: argparse.Namespace) -> int:
+    return _run_profiled(
+        args,
+        lambda: _partition_body(args),
+        ne=args.ne,
+        nparts=args.nparts,
+        method=args.method,
+        seed=args.seed,
+    )
+
+
+def _partition_body(args: argparse.Namespace) -> int:
     from .service import PartitionRequest
 
-    engine = _make_engine(args)
     request = PartitionRequest(
         ne=args.ne, nparts=args.nparts, method=args.method, seed=args.seed
     )
-    response = engine.serve(request)
+    with _make_engine(args) as engine:
+        response = engine.serve(request)
     m = response.metrics
     if args.csv:
         print("method,nparts,lb_nelemd,lb_spcv,edgecut,tcv_points")
@@ -243,6 +324,12 @@ def _cmd_partition(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
+    return _run_profiled(
+        args, lambda: _batch_body(args), requests=str(args.requests)
+    )
+
+
+def _batch_body(args: argparse.Namespace) -> int:
     from .experiments import format_table
     from .service import load_request_file
 
@@ -252,8 +339,8 @@ def _cmd_batch(args: argparse.Namespace) -> int:
         raise SystemExit(f"repro: error: request file '{args.requests}' not found")
     except ValueError as exc:
         raise SystemExit(f"repro: error: {exc}")
-    engine = _make_engine(args)
-    responses = engine.run(requests)
+    with _make_engine(args) as engine:
+        responses = engine.run(requests)
     columns = [
         "ne", "nparts", "method", "seed", "source",
         "lb_nelemd", "lb_spcv", "edgecut", "tcv_points", "ms",
@@ -296,15 +383,51 @@ def _cmd_batch(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    from .profiling import profiled
+    from .service import PartitionRequest
+
+    request = PartitionRequest(
+        ne=args.ne, nparts=args.nparts, method=args.method, seed=args.seed
+    )
+    with _make_engine(args) as engine, profiled() as prof:
+        for _ in range(args.repeat):
+            response = engine.serve(request)
+    m = response.metrics
+    print(
+        f"K={request.k} method={args.method} nparts={args.nparts} "
+        f"edgecut={m['edgecut']} tcv={m['total_volume_points']}"
+    )
+    print()
+    title = (
+        f"Stage profile: {args.method} ne={args.ne} "
+        f"nparts={args.nparts} x{args.repeat}"
+    )
+    print(prof.render(title=title))
+    if args.json:
+        _write_profile_json(
+            args.json,
+            prof,
+            command="profile",
+            ne=args.ne,
+            nparts=args.nparts,
+            method=args.method,
+            seed=args.seed,
+            repeat=args.repeat,
+        )
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .experiments import format_series, speedup_sweep
 
-    results = speedup_sweep(
-        args.ne,
-        methods=tuple(args.methods),
-        nprocs=args.nprocs or None,
-        engine=_make_engine(args),
-    )
+    with _make_engine(args) as engine:
+        results = speedup_sweep(
+            args.ne,
+            methods=tuple(args.methods),
+            nprocs=args.nprocs or None,
+            engine=engine,
+        )
     nprocs = [r.nproc for r in results[args.methods[0]]]
     if args.csv:
         header = ["nproc"]
@@ -390,6 +513,7 @@ def main(argv: list[str] | None = None) -> int:
         "curve": _cmd_curve,
         "partition": _cmd_partition,
         "batch": _cmd_batch,
+        "profile": _cmd_profile,
         "sweep": _cmd_sweep,
         "table2": _cmd_table2,
         "trace": _cmd_trace,

@@ -33,22 +33,32 @@ def bfs_levels(graph: CSRGraph, source: int, mask: np.ndarray | None = None) -> 
         ``(n,)`` int array of BFS levels; ``-1`` for unreachable
         vertices.
     """
+    mask_l = None if mask is None else mask.tolist()
+    return np.array(_bfs_levels_list(graph, source, mask_l), dtype=np.int64)
+
+
+def _bfs_levels_list(
+    graph: CSRGraph, source: int, mask_l: list | None
+) -> list[int]:
+    """BFS levels as a plain Python list (the kernel behind the API)."""
     n = graph.nvertices
-    level = -np.ones(n, dtype=np.int64)
-    if mask is not None and not mask[source]:
-        return level
+    if mask_l is not None and not mask_l[source]:
+        return [-1] * n
+    nbrs, _ = graph.neighbor_slices()
+    level = [-1] * n
     level[source] = 0
-    frontier = np.array([source], dtype=np.int64)
+    frontier = [source]
     depth = 0
-    while len(frontier):
+    while frontier:
         depth += 1
-        nxt = []
+        nxt: list[int] = []
+        append = nxt.append
         for v in frontier:
-            for u in graph.neighbors(int(v)):
-                if level[u] < 0 and (mask is None or mask[u]):
+            for u in nbrs[v]:
+                if level[u] < 0 and (mask_l is None or mask_l[u]):
                     level[u] = depth
-                    nxt.append(u)
-        frontier = np.array(nxt, dtype=np.int64)
+                    append(u)
+        frontier = nxt
     return level
 
 
@@ -97,12 +107,13 @@ def pseudo_peripheral_vertex(
             if len(nz) == 0:
                 raise ValueError("mask selects no vertices")
             start = int(nz[0])
+    mask_l = None if mask is None else mask.tolist()
     current = start
     ecc = -1
     while True:
-        level = bfs_levels(graph, current, mask)
-        far = int(level.max())
+        level = _bfs_levels_list(graph, current, mask_l)
+        far = max(level)
         if far <= ecc:
             return current
         ecc = far
-        current = int(np.flatnonzero(level == far)[0])
+        current = level.index(far)

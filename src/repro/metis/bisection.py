@@ -16,6 +16,7 @@ import numpy as np
 
 from ..graphs.csr import CSRGraph
 from ..partition.base import Partition
+from ..profiling import stage
 from .coarsen import coarsen_to
 from .initial import greedy_graph_growing, spectral_initial_bisection
 from .refine import fm_refine_bisection
@@ -50,12 +51,14 @@ def multilevel_bisection(
     target_right = total - target_left
     if not 0 < target_left < total:
         raise ValueError("target_left must be strictly between 0 and total weight")
-    levels = coarsen_to(graph, COARSEST_NVERTICES, seed=seed)
+    with stage("coarsen"):
+        levels = coarsen_to(graph, COARSEST_NVERTICES, seed=seed)
     coarsest = levels[-1].graph if levels else graph
-    if initial == "spectral" and coarsest.nvertices >= 4:
-        side = spectral_initial_bisection(coarsest, target_left, seed=seed)
-    else:
-        side = greedy_graph_growing(coarsest, target_left, seed=seed)
+    with stage("initial"):
+        if initial == "spectral" and coarsest.nvertices >= 4:
+            side = spectral_initial_bisection(coarsest, target_left, seed=seed)
+        else:
+            side = greedy_graph_growing(coarsest, target_left, seed=seed)
     max_left = max(int(np.floor(ubfactor * target_left + 1e-9)), target_left)
     max_right = max(int(np.floor(ubfactor * target_right + 1e-9)), target_right)
     # Feasibility: the two caps must jointly cover the total weight.
@@ -64,13 +67,15 @@ def multilevel_bisection(
     if max_left + max_right < total:  # pragma: no cover - defensive
         max_left = total - target_right
         max_right = total - target_left
-    side = fm_refine_bisection(coarsest, side, max_left, max_right)
+    with stage("refine"):
+        side = fm_refine_bisection(coarsest, side, max_left, max_right)
     # Project back through the hierarchy, refining at every level.
     # levels[i] was contracted from fine_graphs[i].
     fine_graphs = [graph] + [lv.graph for lv in levels[:-1]]
-    for level, fine in zip(reversed(levels), reversed(fine_graphs)):
-        side = side[level.fine_to_coarse]
-        side = fm_refine_bisection(fine, side, max_left, max_right)
+    with stage("uncoarsen"):
+        for level, fine in zip(reversed(levels), reversed(fine_graphs)):
+            side = side[level.fine_to_coarse]
+            side = fm_refine_bisection(fine, side, max_left, max_right)
     return side
 
 
@@ -103,7 +108,8 @@ def recursive_bisection(
         if parts == 1:
             assignment[ids] = first
             continue
-        sub, mapping = graph.subgraph(ids)
+        with stage("subgraph"):
+            sub, mapping = graph.subgraph(ids)
         left_parts = parts // 2
         right_parts = parts - left_parts
         total = sub.total_vweight()

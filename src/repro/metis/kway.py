@@ -19,6 +19,7 @@ import numpy as np
 
 from ..graphs.csr import CSRGraph
 from ..partition.base import Partition
+from ..profiling import stage
 from .coarsen import coarsen_to
 from .bisection import recursive_bisection
 from .refine import greedy_kway_refine
@@ -54,24 +55,28 @@ def multilevel_kway(
     if not 1 <= nparts <= n:
         raise ValueError("need 1 <= nparts <= nvertices")
     target = max(COARSEN_VERTICES_PER_PART * nparts, MIN_COARSE_VERTICES)
-    levels = coarsen_to(graph, target, seed=seed)
+    with stage("coarsen"):
+        levels = coarsen_to(graph, target, seed=seed)
     coarsest = levels[-1].graph if levels else graph
     # Initial K-way partition of the coarsest graph.  A slightly loose
     # per-bisection tolerance mirrors kmetis (the refinement owns the
     # final balance, not the initial split).
-    init = recursive_bisection(
-        coarsest, nparts, ubfactor=1.01, seed=seed, initial="ggg"
-    )
-    assignment = init.assignment.copy()
-    assignment = greedy_kway_refine(
-        coarsest, assignment, nparts, ubfactor, objective, seed=seed
-    )
-    fine_graphs = [graph] + [lv.graph for lv in levels[:-1]]
-    for level, fine in zip(reversed(levels), reversed(fine_graphs)):
-        assignment = assignment[level.fine_to_coarse]
-        assignment = greedy_kway_refine(
-            fine, assignment, nparts, ubfactor, objective, seed=seed
+    with stage("initial"):
+        init = recursive_bisection(
+            coarsest, nparts, ubfactor=1.01, seed=seed, initial="ggg"
         )
+    assignment = init.assignment.copy()
+    with stage("refine"):
+        assignment = greedy_kway_refine(
+            coarsest, assignment, nparts, ubfactor, objective, seed=seed
+        )
+    fine_graphs = [graph] + [lv.graph for lv in levels[:-1]]
+    with stage("uncoarsen"):
+        for level, fine in zip(reversed(levels), reversed(fine_graphs)):
+            assignment = assignment[level.fine_to_coarse]
+            assignment = greedy_kway_refine(
+                fine, assignment, nparts, ubfactor, objective, seed=seed
+            )
     method = "kway" if objective == "cut" else "tv"
     # NOTE: like METIS 4's kmetis, the K-way pipeline may return empty
     # parts when nparts approaches the vertex count (refinement merges

@@ -11,6 +11,8 @@ from __future__ import annotations
 
 import numpy as np
 
+from .._native import LIB as _NATIVE
+from .._native import as_i64p as _p
 from ..graphs.csr import CSRGraph
 
 __all__ = ["random_matching", "heavy_edge_matching"]
@@ -29,50 +31,70 @@ def _visit_order(graph: CSRGraph, rng: np.random.Generator, sort_by_degree: bool
 def random_matching(graph: CSRGraph, seed: int = 0) -> np.ndarray:
     """Maximal matching by random vertex visitation.
 
+    Visit/claim kernel: the visit order is drawn once (NumPy), then the
+    sequential claim loop runs over plain-int adjacency lists.  The RNG
+    call sequence (one ``integers`` draw per vertex with free
+    neighbors) matches the historical per-vertex NumPy loop exactly,
+    so matchings are bit-identical under a fixed seed.
+
     Returns:
         ``(n,)`` int array ``match`` with ``match[v]`` the partner of
         ``v`` (``match[v] == v`` for unmatched vertices).
     """
     rng = np.random.default_rng(seed)
     n = graph.nvertices
-    match = np.arange(n, dtype=np.int64)
-    matched = np.zeros(n, dtype=bool)
-    for v in _visit_order(graph, rng, sort_by_degree=False):
-        v = int(v)
+    nbrs, _ = graph.neighbor_slices()
+    match = list(range(n))
+    matched = bytearray(n)
+    for v in _visit_order(graph, rng, sort_by_degree=False).tolist():
         if matched[v]:
             continue
-        nbrs = graph.neighbors(v)
-        free = nbrs[~matched[nbrs]]
-        if len(free):
-            u = int(free[rng.integers(len(free))])
+        free = [u for u in nbrs[v] if not matched[u]]
+        if free:
+            u = free[int(rng.integers(len(free)))]
             match[v] = u
             match[u] = v
-            matched[v] = matched[u] = True
-    return match
+            matched[v] = matched[u] = 1
+    return np.array(match, dtype=np.int64)
 
 
 def heavy_edge_matching(graph: CSRGraph, seed: int = 0) -> np.ndarray:
     """Maximal matching preferring heavy edges (HEM/SHEM).
+
+    Same claim-kernel structure as :func:`random_matching`; each vertex
+    claims its heaviest free neighbor, first-in-adjacency-order on
+    ties (the ``argmax`` tie-break of the historical implementation).
 
     Returns:
         ``(n,)`` int array as in :func:`random_matching`.
     """
     rng = np.random.default_rng(seed)
     n = graph.nvertices
-    match = np.arange(n, dtype=np.int64)
-    matched = np.zeros(n, dtype=bool)
-    for v in _visit_order(graph, rng, sort_by_degree=True):
-        v = int(v)
+    order = _visit_order(graph, rng, sort_by_degree=True)
+    if _NATIVE is not None:
+        order = np.ascontiguousarray(order, dtype=np.int64)
+        match_arr = np.empty(n, dtype=np.int64)
+        rc = _NATIVE.hem_claim(
+            n,
+            _p(graph.indptr), _p(graph.indices), _p(graph.eweights),
+            _p(order), _p(match_arr),
+        )
+        if rc == 0:
+            return match_arr
+    nbrs, wts = graph.neighbor_slices()
+    match = list(range(n))
+    matched = bytearray(n)
+    for v in order.tolist():
         if matched[v]:
             continue
-        nbrs = graph.neighbors(v)
-        wts = graph.neighbor_weights(v)
-        free = ~matched[nbrs]
-        if free.any():
-            cand_n = nbrs[free]
-            cand_w = wts[free]
-            u = int(cand_n[int(np.argmax(cand_w))])
-            match[v] = u
-            match[u] = v
-            matched[v] = matched[u] = True
-    return match
+        best_w = -1
+        best_u = -1
+        for u, w in zip(nbrs[v], wts[v]):
+            if not matched[u] and w > best_w:
+                best_w = w
+                best_u = u
+        if best_u >= 0:
+            match[v] = best_u
+            match[best_u] = v
+            matched[v] = matched[best_u] = 1
+    return np.array(match, dtype=np.int64)

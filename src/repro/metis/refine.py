@@ -17,9 +17,13 @@ Two refiners, matching the two halves of METIS:
 from __future__ import annotations
 
 import heapq
+from collections import deque
 
 import numpy as np
 
+from .._native import LIB as _NATIVE
+from .._native import MAX_BOUND as _MAX_BOUND
+from .._native import as_i64p as _p
 from ..graphs.csr import CSRGraph
 
 __all__ = ["fm_refine_bisection", "greedy_kway_refine", "balance_constraint"]
@@ -48,13 +52,39 @@ def _external_internal(
 ) -> tuple[np.ndarray, np.ndarray]:
     """Per-vertex external/internal degree for a 2-way partition."""
     n = graph.nvertices
-    src = np.repeat(np.arange(n), graph.degrees())
+    src = graph.edge_sources()
     same = side[src] == side[graph.indices]
     ed = np.zeros(n, dtype=np.int64)
     idg = np.zeros(n, dtype=np.int64)
     np.add.at(ed, src[~same], graph.eweights[~same])
     np.add.at(idg, src[same], graph.eweights[same])
     return ed, idg
+
+
+def _fm_gains(
+    graph: CSRGraph,
+    side_l: list[int],
+    nbrs: list,
+    wts: list,
+) -> list[int]:
+    """Per-vertex FM gain (external - internal degree), as int list.
+
+    Small graphs (the bulk of the recursive-bisection workload) use a
+    plain-int loop; larger ones the vectorized reduction.  Both are
+    exact integer arithmetic, hence interchangeable.
+    """
+    n = len(side_l)
+    if n > 512:
+        ed, idg = _external_internal(graph, np.array(side_l, dtype=np.int64))
+        return (ed - idg).tolist()
+    gain = [0] * n
+    for v in range(n):
+        sv = side_l[v]
+        g = 0
+        for u, w in zip(nbrs[v], wts[v]):
+            g += w if side_l[u] != sv else -w
+        gain[v] = g
+    return gain
 
 
 def _rebalance_bisection(
@@ -115,85 +145,296 @@ def fm_refine_bisection(
     Returns:
         The refined side array.
     """
-    side = side.astype(np.int64).copy()
     n = graph.nvertices
     caps = (max_left_weight, max_right_weight)
-    weights = [
-        int(graph.vweights[side == 0].sum()),
-        int(graph.vweights[side == 1].sum()),
-    ]
-    _rebalance_bisection(graph, side, caps, weights)
+    side_arr = np.array(side, dtype=np.int64)
+    w1 = int(side_arr @ graph.vweights) if n else 0
+    w0 = graph.total_vweight() - w1
+    if w0 > caps[0] or w1 > caps[1]:
+        # Rare projected-cap violation: run the vectorized rebalance
+        # before the pass loop.
+        weights = [w0, w1]
+        _rebalance_bisection(graph, side_arr, caps, weights)
+        w0, w1 = weights
+    if not len(graph.indices):
+        # Edgeless graph: every gain is 0, so a pass moves vertices,
+        # never beats best_cum = 0, and rolls everything back.
+        return side_arr
     # During a pass one extra atom may sit on either side (classic FM
     # lets the frontier cross the balance line and rolls back to the
     # best *feasible* prefix); otherwise a tight, balanced start would
     # admit no moves at all.
-    slack = int(graph.vweights.max()) if n else 0
+    slack = graph.max_vweight()
     pass_caps = (caps[0] + slack, caps[1] + slack)
+    bound = graph.max_incident_weight()
+    if _NATIVE is not None and bound <= _MAX_BOUND:
+        rc = _NATIVE.fm_refine(
+            n,
+            _p(graph.indptr), _p(graph.indices),
+            _p(graph.eweights), _p(graph.vweights),
+            _p(side_arr),
+            caps[0], caps[1], pass_caps[0], pass_caps[1],
+            max_passes, bound, w0, w1,
+        )
+        if rc == 0:
+            return side_arr
 
-    def feasible() -> bool:
-        return weights[0] <= caps[0] and weights[1] <= caps[1]
-
+    # Pure-Python kernels (reference implementation and fallback).
+    # The pass loop works over the cached adjacency lists; gains are
+    # (re)initialized at each pass start.  Two exactly-equivalent
+    # priority structures back the best-gain-first order: a
+    # bucket-gain queue (gains are bounded by the largest incident
+    # edge weight, so an O(1) FIFO bucket per gain value reproduces
+    # the lazy heap's (-gain, insertion-counter) pop order), with a
+    # binary-heap fallback for weight-heavy coarse graphs whose gain
+    # range would make bucket scans slower than the heap.
+    _, _, _, vweights = graph.adjacency_lists()
+    nbrs, wts = graph.neighbor_slices()
+    side_l: list[int] = side_arr.tolist()
     for _ in range(max_passes):
-        ed, idg = _external_internal(graph, side)
-        gain = ed - idg
-        locked = np.zeros(n, dtype=bool)
-        heap: list[tuple[int, int, int]] = []
-        counter = 0
-        for v in range(n):
-            heapq.heappush(heap, (-int(gain[v]), counter, v))
-            counter += 1
-        moves: list[int] = []
-        cum = 0
-        best_cum = 0
-        best_len = 0
-        while heap:
-            negg, _, v = heapq.heappop(heap)
-            if locked[v] or -negg != gain[v]:
-                continue
-            frm = int(side[v])
-            to = 1 - frm
-            vw = int(graph.vweights[v])
-            if weights[to] + vw > pass_caps[to]:
-                continue
-            # Execute the tentative move.
-            locked[v] = True
-            side[v] = to
-            weights[frm] -= vw
-            weights[to] += vw
-            cum += int(gain[v])
-            moves.append(v)
-            if cum > best_cum and feasible():
-                best_cum = cum
-                best_len = len(moves)
-            for u, w in zip(graph.neighbors(v), graph.neighbor_weights(v)):
-                u = int(u)
-                if locked[u]:
-                    continue
-                # Edge u-v flips between internal and external.
-                delta = 2 * int(w) if side[u] == frm else -2 * int(w)
-                gain[u] += delta
-                heapq.heappush(heap, (-int(gain[u]), counter, u))
-                counter += 1
-        # Roll back past the best prefix.
-        for v in moves[best_len:]:
-            frm = int(side[v])
-            to = 1 - frm
-            vw = int(graph.vweights[v])
-            side[v] = to
-            weights[frm] -= vw
-            weights[to] += vw
+        if bound <= 512:
+            gain, buckets, maxg = _seed_gain_buckets(
+                graph, side_l, nbrs, wts, bound
+            )
+            w0, w1, best_cum = _fm_pass_buckets(
+                nbrs, wts, vweights, side_l, gain,
+                buckets, maxg, w0, w1, caps, pass_caps, bound,
+            )
+        else:
+            gain = _fm_gains(graph, side_l, nbrs, wts)
+            w0, w1, best_cum = _fm_pass_heap(
+                nbrs, wts, vweights, side_l, gain,
+                w0, w1, caps, pass_caps,
+            )
         if best_cum <= 0:
             break
-    return side
+    return np.array(side_l, dtype=np.int64)
 
 
-def _volume_gain(
+def _seed_gain_buckets(
     graph: CSRGraph,
-    assignment: np.ndarray,
-    v: int,
-    to: int,
-) -> int:
-    """METIS TotalVol gain: change in count-based volume if ``v`` moves.
+    side_l: list[int],
+    nbrs: list,
+    wts: list,
+    bound: int,
+) -> tuple[list[int], list, int]:
+    """Initial gains plus the seeded bucket queue for one FM pass.
+
+    Buckets are a flat list indexed by ``gain + bound``; each slot is a
+    FIFO deque of vertices in index order, matching the pop order of a
+    lazy heap seeded with ``(-gain[v], v)`` keys.  Small graphs fuse
+    the gain loop and the seeding; larger ones compute gains
+    vectorized and seed via a stable sort (ties resolved by index,
+    preserving the same FIFO order).
+    """
+    n = len(side_l)
+    # Slot 0 (gain -bound - 1, below any real gain) holds a permanent
+    # stop sentinel: the drain loop reaches it exactly when every real
+    # entry has been popped, replacing a per-operation pending counter.
+    off = bound + 1
+    buckets: list = [None] * (2 * bound + 2)
+    buckets[0] = deque((-1,))
+    maxg = -bound
+    if n <= 96:
+        gain = [0] * n
+        for v in range(n):
+            sv = side_l[v]
+            g = 0
+            for u, w in zip(nbrs[v], wts[v]):
+                g += w if side_l[u] != sv else -w
+            gain[v] = g
+            b = buckets[g + off]
+            if b is None:
+                buckets[g + off] = deque((v,))
+                if g > maxg:
+                    maxg = g
+            else:
+                b.append(v)
+        return gain, buckets, maxg
+    ed, idg = _external_internal(graph, np.array(side_l, dtype=np.int64))
+    gain_arr = ed - idg
+    order = np.argsort(-gain_arr, kind="stable")
+    sorted_g = gain_arr[order]
+    # Runs of equal gain become one FIFO each (stable sort keeps the
+    # vertices within a run in index order).
+    starts = np.flatnonzero(np.diff(sorted_g)) + 1
+    prev = 0
+    for stop in starts.tolist() + [n]:
+        g = int(sorted_g[prev])
+        buckets[g + off] = deque(order[prev:stop].tolist())
+        prev = stop
+    if n:
+        maxg = int(sorted_g[0])
+    return gain_arr.tolist(), buckets, maxg
+
+
+def _fm_pass_heap(
+    nbrs: list,
+    wts: list,
+    vweights: list[int],
+    side_l: list[int],
+    gain: list[int],
+    w0: int,
+    w1: int,
+    caps: tuple[int, int],
+    pass_caps: tuple[int, int],
+) -> tuple[int, int, int]:
+    """One FM pass with a lazy binary heap; mutates ``side_l``."""
+    n = len(side_l)
+    locked = bytearray(n)
+    # Building via heapify is equivalent to n pushes: every key is
+    # unique (the tiebreak counter), so the pop order is the same.
+    heap: list[tuple[int, int, int]] = [(-gain[v], v, v) for v in range(n)]
+    heapq.heapify(heap)
+    counter = n
+    moves: list[int] = []
+    cum = 0
+    best_cum = 0
+    best_len = 0
+    while heap:
+        negg, _, v = heapq.heappop(heap)
+        if locked[v] or -negg != gain[v]:
+            continue
+        frm = side_l[v]
+        to = 1 - frm
+        vw = vweights[v]
+        if (w1 if to else w0) + vw > pass_caps[to]:
+            continue
+        # Execute the tentative move.
+        locked[v] = 1
+        side_l[v] = to
+        if frm == 0:
+            w0 -= vw
+            w1 += vw
+        else:
+            w1 -= vw
+            w0 += vw
+        cum += gain[v]
+        moves.append(v)
+        if cum > best_cum and w0 <= caps[0] and w1 <= caps[1]:
+            best_cum = cum
+            best_len = len(moves)
+        for u, w in zip(nbrs[v], wts[v]):
+            if locked[u]:
+                continue
+            # Edge u-v flips between internal and external.
+            gain[u] += 2 * w if side_l[u] == frm else -2 * w
+            heapq.heappush(heap, (-gain[u], counter, u))
+            counter += 1
+    return _fm_rollback(side_l, vweights, moves, best_len, w0, w1, best_cum)
+
+
+def _fm_pass_buckets(
+    nbrs: list,
+    wts: list,
+    vweights: list[int],
+    side_l: list[int],
+    gain: list[int],
+    buckets: list,
+    maxg: int,
+    w0: int,
+    w1: int,
+    caps: tuple[int, int],
+    pass_caps: tuple[int, int],
+    bound: int,
+) -> tuple[int, int, int]:
+    """One FM pass over a pre-seeded bucket queue; mutates ``side_l``.
+
+    Entries live in a FIFO bucket per gain value (gains lie in
+    ``[-bound, bound]``, so buckets are a flat list indexed by
+    ``gain + bound + 1``, slot 0 being the stop sentinel); popping
+    always drains the highest non-empty bucket.  Because the lazy heap
+    pops its (unique) keys in ``(-gain, counter)`` order and bucket
+    FIFO preserves insertion (= counter) order within a gain value,
+    the two structures process the exact same entry sequence.  Locking
+    is fused into ``gain``: a moved vertex's gain is set to
+    ``bound + 1``, an impossible value that fails both the freshness
+    test at pop time and the ``<= bound`` test in the neighbor update.
+    """
+    off = bound + 1
+    locked_mark = bound + 1
+    cap0, cap1 = caps
+    pcap0, pcap1 = pass_caps
+    moves: list[int] = []
+    app_move = moves.append
+    cum = 0
+    best_cum = 0
+    best_len = 0
+    b = buckets[maxg + off]
+    while True:
+        while not b:
+            maxg -= 1
+            b = buckets[maxg + off]
+        v = b.popleft()
+        if maxg != gain[v]:
+            # Stale entry (or the sentinel, whose pseudo-gain is below
+            # every real gain so the test always fires for it).
+            if v < 0:
+                break
+            continue
+        frm = side_l[v]
+        vw = vweights[v]
+        if frm == 0:
+            if w1 + vw > pcap1:
+                continue
+            w0 -= vw
+            w1 += vw
+        else:
+            if w0 + vw > pcap0:
+                continue
+            w1 -= vw
+            w0 += vw
+        # Execute the tentative move.
+        gain[v] = locked_mark
+        side_l[v] = 1 - frm
+        cum += maxg
+        app_move(v)
+        if cum > best_cum and w0 <= cap0 and w1 <= cap1:
+            best_cum = cum
+            best_len = len(moves)
+        for u, w in zip(nbrs[v], wts[v]):
+            g = gain[u]
+            if g > bound:
+                continue
+            # Edge u-v flips between internal and external.
+            g += w + w if side_l[u] == frm else -w - w
+            gain[u] = g
+            bu = buckets[g + off]
+            if bu is None:
+                buckets[g + off] = deque((u,))
+            else:
+                bu.append(u)
+            if g > maxg:
+                maxg = g
+        b = buckets[maxg + off]
+    return _fm_rollback(side_l, vweights, moves, best_len, w0, w1, best_cum)
+
+
+def _fm_rollback(
+    side_l: list[int],
+    vweights: list[int],
+    moves: list[int],
+    best_len: int,
+    w0: int,
+    w1: int,
+    best_cum: int,
+) -> tuple[int, int, int]:
+    """Undo the moves past the best feasible prefix of an FM pass."""
+    for v in moves[best_len:]:
+        to = 1 - side_l[v]
+        vw = vweights[v]
+        side_l[v] = to
+        if to == 0:
+            w1 -= vw
+            w0 += vw
+        else:
+            w0 -= vw
+            w1 += vw
+    return w0, w1, best_cum
+
+
+class _VolumeGainKernel:
+    """Batched METIS TotalVol gain: Δ count-based volume if ``v`` moves.
 
     METIS's TV objective models the volume of a vertex as
     ``vsize * |distinct external parts among its neighbors|`` (unit
@@ -203,32 +444,67 @@ def _volume_gain(
     can fail to minimize measured TCV — the anomaly the paper reports
     for METIS's TV partitions ("directly contradicts the expected
     minimization property").
+
+    The historical implementation recomputed each neighbor's
+    part-count census per candidate part — ``O(deg² · ncand)`` NumPy
+    scalar work per boundary vertex.  This kernel builds the census
+    once per vertex (:meth:`prepare`), after which each candidate
+    evaluates in ``O(deg)`` plain-int lookups (:meth:`gain`), with
+    identical integer results.
     """
-    frm = int(assignment[v])
-    # Change of v's own external-part count.
-    nbr_parts = [int(assignment[u]) for u in graph.neighbors(v)]
-    before_v = len({p for p in nbr_parts if p != frm})
-    after_v = len({p for p in nbr_parts if p != to})
-    gain = before_v - after_v
-    # Change of each neighbor's external-part count: moving v makes
-    # `frm` possibly vanish from u's neighbor parts and `to` possibly
-    # appear.
-    for u in graph.neighbors(v):
-        u = int(u)
-        pu = int(assignment[u])
-        cnt_frm = 0
-        cnt_to = 0
-        for x in graph.neighbors(u):
-            px = int(assignment[x])
-            if px == frm:
-                cnt_frm += 1
-            if px == to:
-                cnt_to += 1
-        if frm != pu and cnt_frm == 1:  # v was u's only `frm` neighbor
-            gain += 1
-        if to != pu and cnt_to == 0:  # move introduces `to` at u
-            gain -= 1
-    return gain
+
+    def __init__(self, nbrs: list) -> None:
+        self._nbrs = nbrs
+        self._frm = 0
+        self._base = 0
+        self._before_v = 0
+        self._nbr_parts: set[int] = set()
+        self._census: list[tuple[int, dict[int, int]]] = []
+
+    def prepare(self, assignment: list[int], v: int, frm: int) -> None:
+        """Census the two-hop neighborhood of ``v`` under ``assignment``."""
+        nbrs = self._nbrs
+        self._frm = frm
+        self._nbr_parts = {assignment[u] for u in nbrs[v]}
+        self._before_v = len(self._nbr_parts - {frm})
+        census = []
+        base = 0
+        for u in nbrs[v]:
+            pu = assignment[u]
+            cnt: dict[int, int] = {}
+            for x in nbrs[u]:
+                px = assignment[x]
+                cnt[px] = cnt.get(px, 0) + 1
+            # Moving v away may erase `frm` from u's neighbor parts;
+            # this term does not depend on the destination.
+            if frm != pu and cnt.get(frm, 0) == 1:
+                base += 1
+            census.append((pu, cnt))
+        self._base = base
+        self._census = census
+
+    def gain(self, to: int) -> int:
+        """Gain of moving the prepared vertex to part ``to``."""
+        after_v = len(self._nbr_parts - {to})
+        g = self._before_v - after_v + self._base
+        for pu, cnt in self._census:
+            if to != pu and cnt.get(to, 0) == 0:  # move introduces `to` at u
+                g -= 1
+        return g
+
+
+def _volume_gain(
+    graph: CSRGraph,
+    assignment: np.ndarray,
+    v: int,
+    to: int,
+) -> int:
+    """One-off TotalVol gain (thin wrapper over :class:`_VolumeGainKernel`)."""
+    nbrs, _ = graph.neighbor_slices()
+    kernel = _VolumeGainKernel(nbrs)
+    assign_l = np.asarray(assignment).astype(np.int64).tolist()
+    kernel.prepare(assign_l, int(v), assign_l[int(v)])
+    return kernel.gain(int(to))
 
 
 def greedy_kway_refine(
@@ -262,32 +538,38 @@ def greedy_kway_refine(
     """
     if objective not in ("cut", "volume"):
         raise ValueError(f"unknown objective {objective!r}")
-    assignment = assignment.astype(np.int64).copy()
     n = graph.nvertices
     rng = np.random.default_rng(seed)
     total = graph.total_vweight()
     cap = balance_constraint(total, nparts, ubfactor)
     ideal_cap = int(np.ceil(total / nparts - 1e-9))
-    pweights = np.bincount(assignment, weights=graph.vweights, minlength=nparts).astype(
-        np.int64
+    assign: list[int] = assignment.astype(np.int64).tolist()
+    pweights: list[int] = (
+        np.bincount(assignment, weights=graph.vweights, minlength=nparts)
+        .astype(np.int64)
+        .tolist()
     )
+    _, _, _, vweights = graph.adjacency_lists()
+    nbrs, wts = graph.neighbor_slices()
+    volume = objective == "volume"
+    vgain = _VolumeGainKernel(nbrs) if volume else None
     for _ in range(max_passes):
         improved = False
-        order = rng.permutation(n)
-        for v in order:
-            v = int(v)
-            frm = int(assignment[v])
-            nbrs = graph.neighbors(v)
-            wts = graph.neighbor_weights(v)
-            nbr_parts = assignment[nbrs]
-            if (nbr_parts == frm).all():
-                continue  # interior vertex
-            vw = int(graph.vweights[v])
-            # Connectivity of v to each adjacent part.
+        for v in rng.permutation(n).tolist():
+            frm = assign[v]
+            # Connectivity of v to each adjacent part (insertion order
+            # = first appearance in the adjacency slice, which fixes
+            # the candidate-evaluation order below).
             conn: dict[int, int] = {}
-            for p, w in zip(nbr_parts, wts):
-                conn[int(p)] = conn.get(int(p), 0) + int(w)
+            for u, w in zip(nbrs[v], wts[v]):
+                p = assign[u]
+                conn[p] = conn.get(p, 0) + w
+            if not conn or (len(conn) == 1 and frm in conn):
+                continue  # interior (or isolated) vertex
+            vw = vweights[v]
             internal = conn.get(frm, 0)
+            if volume:
+                vgain.prepare(assign, v, frm)
             best_to = -1
             best_gain = 0
             best_conn = -1
@@ -296,10 +578,7 @@ def greedy_kway_refine(
                     continue
                 if pweights[p] + vw > cap:
                     continue
-                if objective == "cut":
-                    gain = c - internal
-                else:
-                    gain = _volume_gain(graph, assignment, v, p)
+                gain = c - internal if not volume else vgain.gain(p)
                 if best_to < 0 or gain > best_gain or (
                     gain == best_gain and c > best_conn
                 ):
@@ -321,10 +600,10 @@ def greedy_kway_refine(
             ):
                 accept = True
             if accept:
-                assignment[v] = best_to
+                assign[v] = best_to
                 pweights[frm] -= vw
                 pweights[best_to] += vw
                 improved = True
         if not improved:
             break
-    return assignment
+    return np.array(assign, dtype=np.int64)

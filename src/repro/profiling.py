@@ -1,0 +1,136 @@
+"""Lightweight stage profiler for the partitioning pipeline.
+
+The hot paths (multilevel METIS, halo-schedule construction, the
+service engine) are annotated with :func:`stage` blocks and
+:func:`counter` bumps.  When no profiler is active these cost one
+global read each — the library runs unchanged.  Activating one with
+:func:`profiled` collects per-stage wall time and call counts:
+
+    with profiled() as prof:
+        part_graph(graph, 64, "rb")
+    print(prof.render())
+    Path("profile.json").write_text(prof.to_json())
+
+Stages may nest (K-way's initial partition runs the whole recursive
+bisection pipeline inside its ``initial`` stage), so stage times can
+overlap and percentages are of elapsed wall time, not of a partition
+of it.  Worker processes of the service pool do not report their inner
+stages back to the parent profiler — pool fan-out shows up as the
+``pool`` stage.
+"""
+
+from __future__ import annotations
+
+import json
+from contextlib import contextmanager
+from time import perf_counter
+
+__all__ = ["Profiler", "profiled", "stage", "counter", "active_profiler"]
+
+_ACTIVE: Profiler | None = None
+
+
+class Profiler:
+    """Accumulates per-stage wall time, call counts, and counters."""
+
+    def __init__(self) -> None:
+        self.seconds: dict[str, float] = {}
+        self.calls: dict[str, int] = {}
+        self.counters: dict[str, int] = {}
+        self._start = perf_counter()
+        self._elapsed: float | None = None
+
+    def add(self, name: str, dt: float) -> None:
+        self.seconds[name] = self.seconds.get(name, 0.0) + dt
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    def count(self, name: str, n: int = 1) -> None:
+        self.counters[name] = self.counters.get(name, 0) + n
+
+    def finish(self) -> None:
+        """Freeze the elapsed wall time (called by :func:`profiled`)."""
+        if self._elapsed is None:
+            self._elapsed = perf_counter() - self._start
+
+    @property
+    def elapsed_s(self) -> float:
+        return (
+            self._elapsed
+            if self._elapsed is not None
+            else perf_counter() - self._start
+        )
+
+    def as_dict(self) -> dict:
+        """JSON-ready summary of everything collected."""
+        return {
+            "elapsed_s": self.elapsed_s,
+            "stages": {
+                name: {"seconds": self.seconds[name], "calls": self.calls[name]}
+                for name in self.seconds
+            },
+            "counters": dict(self.counters),
+        }
+
+    def to_json(self, **meta) -> str:
+        """Serialize (with optional metadata keys) for the perf harness."""
+        payload = dict(meta)
+        payload.update(self.as_dict())
+        return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+    def render(self, title: str = "Profile") -> str:
+        """Text table of stages (by time, descending) and counters."""
+        elapsed = self.elapsed_s
+        lines = [f"{title}  (wall {1e3 * elapsed:.1f} ms)"]
+        width = max([len(n) for n in self.seconds] + [5])
+        lines.append(f"{'stage':<{width}}  {'calls':>7}  {'ms':>9}  {'%wall':>6}")
+        for name in sorted(self.seconds, key=self.seconds.get, reverse=True):
+            sec = self.seconds[name]
+            pct = 100.0 * sec / elapsed if elapsed > 0 else 0.0
+            lines.append(
+                f"{name:<{width}}  {self.calls[name]:>7}  "
+                f"{1e3 * sec:>9.1f}  {pct:>5.1f}%"
+            )
+        if self.counters:
+            lines.append("counters: " + "  ".join(
+                f"{k}={v}" for k, v in sorted(self.counters.items())
+            ))
+        return "\n".join(lines)
+
+
+def active_profiler() -> Profiler | None:
+    """The profiler currently collecting, or ``None``."""
+    return _ACTIVE
+
+
+@contextmanager
+def profiled():
+    """Activate a fresh :class:`Profiler` for the enclosed block."""
+    global _ACTIVE
+    prof = Profiler()
+    previous = _ACTIVE
+    _ACTIVE = prof
+    try:
+        yield prof
+    finally:
+        _ACTIVE = previous
+        prof.finish()
+
+
+@contextmanager
+def stage(name: str):
+    """Time the enclosed block under ``name`` (no-op when inactive)."""
+    prof = _ACTIVE
+    if prof is None:
+        yield
+        return
+    t0 = perf_counter()
+    try:
+        yield
+    finally:
+        prof.add(name, perf_counter() - t0)
+
+
+def counter(name: str, n: int = 1) -> None:
+    """Bump a named counter (no-op when inactive)."""
+    if _ACTIVE is not None:
+        _ACTIVE.count(name, n)

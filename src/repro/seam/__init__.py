@@ -14,7 +14,13 @@ from .parallel import (
     PartitionedTransportRun,
 )
 from .shallow_water import ShallowWaterSolver, SWState, williamson_tc2
-from .dss import DSSOperator, PointMap, build_point_map, exchange_schedule
+from .dss import (
+    DSSOperator,
+    PointMap,
+    build_halo_schedule,
+    build_point_map,
+    exchange_schedule,
+)
 from .element import ElementGeometry, GridGeometry, build_geometry
 from .gll import GLLBasis, gll_basis, legendre_and_derivative
 from .transport import (
@@ -42,6 +48,7 @@ __all__ = [
     "TransportSolver",
     "advect",
     "build_geometry",
+    "build_halo_schedule",
     "build_point_map",
     "conservation_drift",
     "cosine_bell",

@@ -23,9 +23,16 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..partition.base import Partition
+from ..profiling import stage
 from .element import GridGeometry
 
-__all__ = ["PointMap", "build_point_map", "DSSOperator", "exchange_schedule"]
+__all__ = [
+    "PointMap",
+    "build_point_map",
+    "DSSOperator",
+    "build_halo_schedule",
+    "exchange_schedule",
+]
 
 _ROUND_DECIMALS = 9
 
@@ -124,7 +131,58 @@ class DSSOperator:
         return float((self.local_mass * field).sum())
 
 
-def exchange_schedule(
+def _owner_groups(
+    point_map: PointMap, partition: Partition
+) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Per-point owner groups as flat run-encoded arrays.
+
+    Returns ``(prt, starts, counts)``: ``prt`` lists the owning parts of
+    every global point, grouped by point in ascending (point, part)
+    order; group ``g`` occupies ``prt[starts[g] : starts[g] + counts[g]]``.
+    """
+    nelem, npts, _ = point_map.point_ids.shape
+    if partition.nvertices != nelem:
+        raise ValueError("partition size does not match grid")
+    ids = point_map.point_ids.reshape(nelem, -1)
+    owner = np.repeat(partition.assignment, ids.shape[1])
+    # Unique (point, part) pairs: a processor contributes one partial
+    # sum per shared point regardless of how many local copies it has.
+    # (sort + run-mask, which benchmarks far faster than np.unique here)
+    key = np.sort(ids.ravel() * np.int64(partition.nparts) + owner)
+    uniq = key[np.r_[True, key[1:] != key[:-1]]]
+    pts = uniq // partition.nparts
+    prt = uniq % partition.nparts
+    starts = np.flatnonzero(np.r_[True, pts[1:] != pts[:-1]])
+    counts = np.diff(np.r_[starts, len(pts)])
+    return prt, starts, counts
+
+
+def ordered_pair_expansion(
+    prt: np.ndarray, starts: np.ndarray, counts: np.ndarray, nparts: int
+) -> np.ndarray:
+    """All ordered owner pairs ``(a, b)``, ``a != b``, of shared groups.
+
+    Groups are expanded size-class by size-class (owner counts are
+    bounded by the point multiplicity, ≤4 on a cubed sphere, so this is
+    a handful of vectorized passes).  Returns encoded ``a * nparts + b``
+    keys, one entry per (point, ordered pair).
+    """
+    pair_keys: list[np.ndarray] = []
+    for size in np.unique(counts).tolist():
+        if size < 2:
+            continue
+        group_starts = starts[counts == size]
+        members = prt[group_starts[:, None] + np.arange(size)]
+        a = np.repeat(members, size, axis=1)
+        b = np.tile(members, (1, size))
+        offdiag = a != b
+        pair_keys.append(a[offdiag] * np.int64(nparts) + b[offdiag])
+    if not pair_keys:
+        return np.empty(0, dtype=np.int64)
+    return np.concatenate(pair_keys)
+
+
+def build_halo_schedule(
     point_map: PointMap, partition: Partition
 ) -> dict[tuple[int, int], int]:
     """Boundary-point exchange counts implied by a partition.
@@ -136,34 +194,38 @@ def exchange_schedule(
     DSS application — the exact communication the performance model
     charges for.
 
+    The whole construction is vectorized: one ``np.unique`` collapses
+    element-local copies to (point, part) pairs, run-length grouping
+    finds each point's owner set, and the ordered-pair expansion plus a
+    final counting ``np.unique`` replace the historical quadratic
+    Python scan (identical counts; tested against goldens).
+
     Returns:
         Dict ``(src, dst) -> number of point values``.
     """
-    nelem, npts, _ = point_map.point_ids.shape
-    if partition.nvertices != nelem:
-        raise ValueError("partition size does not match grid")
-    ids = point_map.point_ids.reshape(nelem, -1)
-    owner = np.repeat(partition.assignment, ids.shape[1])
-    flat = ids.ravel()
-    # Unique (point, part) pairs: a processor contributes one partial
-    # sum per shared point regardless of how many local copies it has.
-    key = flat * np.int64(partition.nparts) + owner
-    uniq = np.unique(key)
-    pts = uniq // partition.nparts
-    prt = (uniq % partition.nparts).astype(np.int64)
-    schedule: dict[tuple[int, int], int] = {}
-    start = 0
-    n = len(pts)
-    while start < n:
-        end = start
-        while end < n and pts[end] == pts[start]:
-            end += 1
-        owners = prt[start:end]
-        if len(owners) > 1:
-            for a in owners:
-                for b in owners:
-                    if a != b:
-                        k = (int(a), int(b))
-                        schedule[k] = schedule.get(k, 0) + 1
-        start = end
-    return schedule
+    nparts = partition.nparts
+    with stage("halo"):
+        return _halo_schedule(point_map, partition, nparts)
+
+
+def _halo_schedule(
+    point_map: PointMap, partition: Partition, nparts: int
+) -> dict[tuple[int, int], int]:
+    prt, starts, counts = _owner_groups(point_map, partition)
+    pair_keys = ordered_pair_expansion(prt, starts, counts, nparts)
+    if not len(pair_keys):
+        return {}
+    pair_keys.sort()
+    keep = np.flatnonzero(np.r_[True, pair_keys[1:] != pair_keys[:-1]])
+    tallies = np.diff(np.r_[keep, len(pair_keys)])
+    pairs = pair_keys[keep]
+    return dict(
+        zip(
+            zip((pairs // nparts).tolist(), (pairs % nparts).tolist()),
+            tallies.tolist(),
+        )
+    )
+
+
+#: Historical name, kept for callers of the pre-kernelized API.
+exchange_schedule = build_halo_schedule

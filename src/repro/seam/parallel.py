@@ -86,39 +86,30 @@ class PartitionedDSS:
 
     def _build_rank_structures(self) -> None:
         ids = self.point_map.point_ids
-        nelem = ids.shape[0]
         owner = self.partition.assignment
-        # Points touched by each rank.
+        # Points touched by each rank (sort + run-mask dedup).
         self.rank_elements = [
             np.flatnonzero(owner == r) for r in range(self.nranks)
         ]
         rank_points: list[np.ndarray] = []
         for r in range(self.nranks):
-            pts = np.unique(ids[self.rank_elements[r]].ravel())
-            rank_points.append(pts)
+            touched = np.sort(ids[self.rank_elements[r]].ravel())
+            rank_points.append(
+                touched[np.r_[True, touched[1:] != touched[:-1]]]
+                if len(touched)
+                else touched
+            )
         self.rank_points = rank_points
-        # For every ordered rank pair, the sorted shared-point list —
-        # the message layout both sides agree on (like an MPI datatype).
-        owners_of_point: dict[int, list[int]] = {}
-        for r in range(self.nranks):
-            for p in rank_points[r]:
-                owners_of_point.setdefault(int(p), []).append(r)
-        self.shared: dict[tuple[int, int], np.ndarray] = {}
-        for p, owners in owners_of_point.items():
-            if len(owners) < 2:
-                continue
-            for a in owners:
-                for b in owners:
-                    if a != b:
-                        self.shared.setdefault((a, b), []).append(p)  # type: ignore[arg-type]
-        self.shared = {
-            k: np.array(sorted(v), dtype=np.int64) for k, v in self.shared.items()
-        }
-        # Per-rank local point numbering (global id -> dense local id).
-        self.local_index = []
-        for r in range(self.nranks):
-            idx = {int(p): i for i, p in enumerate(rank_points[r])}
-            self.local_index.append(idx)
+        # Every element-local point's dense local id on its owning rank,
+        # one flat index array per rank.  These drive both gather
+        # (np.add.at, which accumulates in index order — the same
+        # element-by-element order as the historical per-element loop,
+        # so float sums are bit-identical) and scatter.
+        self._rank_idx = [
+            np.searchsorted(rank_points[r], ids[self.rank_elements[r]].ravel())
+            for r in range(self.nranks)
+        ]
+        self._build_shared_lists()
         # Precompute each rank's assembled mass (numerically identical
         # on every co-owning rank after exchange).
         self.rank_mass = []
@@ -128,18 +119,75 @@ class PartitionedDSS:
         # Complete the mass with one exchange (not counted in stats).
         self._exchange_into(self.rank_mass, count=False)
 
+    def _build_shared_lists(self) -> None:
+        """Shared-point message layouts for every ordered rank pair.
+
+        ``shared[(src, dst)]`` is the ascending list of global points
+        co-owned by both ranks — the layout both sides agree on (like an
+        MPI datatype) — with the matching local-index arrays precomputed
+        on each side.  Built with the same run-length grouping and
+        size-class pair expansion as the halo schedule kernel.
+        """
+        pnt = np.concatenate(self.rank_points + [np.empty(0, dtype=np.int64)])
+        rnk = np.concatenate(
+            [
+                np.full(len(p), r, dtype=np.int64)
+                for r, p in enumerate(self.rank_points)
+            ]
+            + [np.empty(0, dtype=np.int64)]
+        )
+        order = np.argsort(pnt, kind="stable")  # ranks ascend within a point
+        pnt = pnt[order]
+        rnk = rnk[order]
+        starts = np.flatnonzero(np.r_[True, pnt[1:] != pnt[:-1]]) if len(pnt) else (
+            np.empty(0, dtype=np.int64)
+        )
+        counts = np.diff(np.r_[starts, len(pnt)])
+        srcs: list[np.ndarray] = []
+        dsts: list[np.ndarray] = []
+        pts_out: list[np.ndarray] = []
+        for size in np.unique(counts).tolist():
+            if size < 2:
+                continue
+            group_starts = starts[counts == size]
+            members = rnk[group_starts[:, None] + np.arange(size)]
+            a = np.repeat(members, size, axis=1)
+            b = np.tile(members, (1, size))
+            offdiag = a != b
+            srcs.append(a[offdiag])
+            dsts.append(b[offdiag])
+            pts_out.append(np.repeat(pnt[group_starts], size * size - size))
+        self.shared: dict[tuple[int, int], np.ndarray] = {}
+        self._shared_src_idx: dict[tuple[int, int], np.ndarray] = {}
+        self._shared_dst_idx: dict[tuple[int, int], np.ndarray] = {}
+        if not srcs:
+            return
+        src = np.concatenate(srcs)
+        dst = np.concatenate(dsts)
+        pts = np.concatenate(pts_out)
+        pair_key = src * np.int64(self.nranks) + dst
+        by_pair = np.lexsort((pts, pair_key))
+        pair_key = pair_key[by_pair]
+        pts = pts[by_pair]
+        run_starts = np.flatnonzero(np.r_[True, pair_key[1:] != pair_key[:-1]])
+        run_ends = np.r_[run_starts[1:], len(pair_key)]
+        for lo, hi in zip(run_starts.tolist(), run_ends.tolist()):
+            a, b = divmod(int(pair_key[lo]), self.nranks)
+            plist = pts[lo:hi]
+            self.shared[(a, b)] = plist
+            self._shared_src_idx[(a, b)] = np.searchsorted(
+                self.rank_points[a], plist
+            )
+            self._shared_dst_idx[(a, b)] = np.searchsorted(
+                self.rank_points[b], plist
+            )
+
     def _gather_rank(self, rank: int, field_: np.ndarray) -> np.ndarray:
         """Rank-local partial sums of a per-element point field."""
-        pts = self.rank_points[rank]
-        out = np.zeros(len(pts))
-        ids = self.point_map.point_ids
-        lookup = self.local_index[rank]
-        for e in self.rank_elements[rank]:
-            flat_ids = ids[e].ravel()
-            local = np.fromiter(
-                (lookup[int(p)] for p in flat_ids), dtype=np.int64, count=len(flat_ids)
-            )
-            np.add.at(out, local, field_[e].ravel())
+        out = np.zeros(len(self.rank_points[rank]))
+        np.add.at(
+            out, self._rank_idx[rank], field_[self.rank_elements[rank]].ravel()
+        )
         return out
 
     def _exchange_into(self, partials: list[np.ndarray], count: bool = True) -> None:
@@ -148,18 +196,13 @@ class PartitionedDSS:
         # read the pre-exchange state).
         outbox: dict[tuple[int, int], np.ndarray] = {}
         for (src, dst), pts in self.shared.items():
-            lookup = self.local_index[src]
-            idx = np.fromiter((lookup[int(p)] for p in pts), dtype=np.int64)
-            outbox[(src, dst)] = partials[src][idx].copy()
+            outbox[(src, dst)] = partials[src][self._shared_src_idx[(src, dst)]]
             if count:
                 self.accounting.messages += 1
                 self.accounting.values += len(pts)
                 self.accounting.per_rank_sent[src] += len(pts)
         for (src, dst), payload in outbox.items():
-            pts = self.shared[(src, dst)]
-            lookup = self.local_index[dst]
-            idx = np.fromiter((lookup[int(p)] for p in pts), dtype=np.int64)
-            partials[dst][idx] += payload
+            partials[dst][self._shared_dst_idx[(src, dst)]] += payload
         if count:
             self.accounting.exchanges += 1
 
@@ -175,18 +218,14 @@ class PartitionedDSS:
         ]
         self._exchange_into(partials)
         out = np.empty_like(field_)
-        ids = self.point_map.point_ids
         for r in range(self.nranks):
-            lookup = self.local_index[r]
+            elems = self.rank_elements[r]
+            if not len(elems):
+                continue
             averaged = partials[r] / self.rank_mass[r]
-            for e in self.rank_elements[r]:
-                flat_ids = ids[e].ravel()
-                idx = np.fromiter(
-                    (lookup[int(p)] for p in flat_ids),
-                    dtype=np.int64,
-                    count=len(flat_ids),
-                )
-                out[e] = averaged[idx].reshape(field_.shape[1:])
+            out[elems] = averaged[self._rank_idx[r]].reshape(
+                len(elems), *field_.shape[1:]
+            )
         return out
 
     def is_continuous(self, field_: np.ndarray, atol: float = 1e-12) -> bool:

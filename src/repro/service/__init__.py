@@ -22,6 +22,7 @@ Quickstart::
     for resp in engine.run(reqs):
         print(resp.request.nparts, resp.source, resp.metrics["lb_nelemd"])
     print(engine.stats.render())
+    engine.close()  # or use the engine as a context manager
 """
 
 from .cache import PartitionCache

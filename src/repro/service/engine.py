@@ -27,6 +27,7 @@ from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
 from time import perf_counter
 
+from ..profiling import counter, stage
 from .cache import PartitionCache
 from .requests import PartitionRequest, PartitionResponse, quality_metrics
 from .stats import ServiceStats
@@ -81,6 +82,19 @@ class PartitionEngine:
         self.cache = cache if cache is not None else PartitionCache()
         self.jobs = jobs
         self.stats = ServiceStats(jobs=jobs)
+        self._pool: ProcessPoolExecutor | None = None
+
+    def close(self) -> None:
+        """Shut down the worker pool (idempotent)."""
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+    def __enter__(self) -> PartitionEngine:
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
 
     def serve(self, request: PartitionRequest) -> PartitionResponse:
         """Serve a single request (batch of one)."""
@@ -101,12 +115,15 @@ class PartitionEngine:
 
         resolved: dict[str, PartitionResponse] = {}
         misses: list[PartitionRequest] = []
-        for key, req in unique.items():
-            hit = self.cache.get(req)
-            if hit is not None:
-                resolved[key] = hit
-            else:
-                misses.append(req)
+        with stage("cache"):
+            for key, req in unique.items():
+                hit = self.cache.get(req)
+                if hit is not None:
+                    resolved[key] = hit
+                else:
+                    misses.append(req)
+        counter("cache_hits", len(resolved))
+        counter("cache_misses", len(misses))
 
         for response in self._compute_all(misses):
             self.cache.put(response.request, response)
@@ -134,7 +151,11 @@ class PartitionEngine:
         if not misses:
             return []
         if self.jobs == 1 or len(misses) == 1:
-            return [compute_response(req) for req in misses]
-        workers = min(self.jobs, len(misses))
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(compute_response, misses))
+            with stage("compute"):
+                return [compute_response(req) for req in misses]
+        # The pool persists across run() calls: repeated sweeps pay the
+        # worker fork/import cost once per engine, not once per batch.
+        if self._pool is None:
+            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        with stage("pool"):
+            return list(self._pool.map(compute_response, misses))

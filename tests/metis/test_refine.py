@@ -152,3 +152,54 @@ class TestGreedyKway:
         copy = assignment.copy()
         greedy_kway_refine(g, assignment, 2, seed=0)
         np.testing.assert_array_equal(assignment, copy)
+
+
+class TestRefinementEdgeCases:
+    """Degenerate inputs the kernelized paths must handle exactly."""
+
+    def _chain_with_heavy_head(self):
+        from repro.graphs import graph_from_edges
+
+        edges = np.array([[0, 1], [1, 2], [2, 3]], dtype=np.int64)
+        vw = np.array([5, 1, 1, 1], dtype=np.int64)
+        return graph_from_edges(4, edges, vweights=vw)
+
+    def test_max_passes_zero_is_identity(self):
+        g = self._chain_with_heavy_head()
+        side = np.array([0, 0, 1, 1], dtype=np.int64)
+        out = fm_refine_bisection(g, side, 8, 8, max_passes=0)
+        np.testing.assert_array_equal(out, side)
+
+    def test_single_vertex_graph(self):
+        from repro.graphs import graph_from_edges
+
+        g = graph_from_edges(1, np.empty((0, 2), dtype=np.int64))
+        np.testing.assert_array_equal(
+            fm_refine_bisection(g, np.array([0]), 1, 1), [0]
+        )
+        np.testing.assert_array_equal(
+            greedy_kway_refine(g, np.array([0]), 1), [0]
+        )
+
+    def test_caps_tighter_than_heaviest_vertex(self):
+        # cap=4 < the weight-5 vertex: the rebalance sheds every light
+        # vertex but the heavy one cannot fit anywhere; refinement must
+        # terminate with the heavy vertex alone on its side.
+        g = self._chain_with_heavy_head()
+        side = np.array([0, 0, 1, 1], dtype=np.int64)
+        out = fm_refine_bisection(g, side, 4, 4)
+        assert set(out.tolist()) <= {0, 1}
+        heavy_side = int(out[0])
+        weights = [int(g.vweights[out == s].sum()) for s in (0, 1)]
+        assert weights[heavy_side] == 5  # heavy vertex isolated
+        assert weights[1 - heavy_side] == 3
+
+    def test_seed_determinism_across_runs(self):
+        from repro.metis import part_graph
+        from tests.metis.test_golden import _generator
+
+        g = _generator.random_weighted_graph(n=50, seed=7)
+        for method in ("rb", "kway", "tv"):
+            a = part_graph(g, 6, method, seed=11)
+            b = part_graph(g, 6, method, seed=11)
+            np.testing.assert_array_equal(a.assignment, b.assignment)

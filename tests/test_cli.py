@@ -302,3 +302,86 @@ class TestTable2Command:
 
         # Printed to 2 decimals, so compare loosely.
         assert tcv_value(tcv16) == pytest.approx(16 * tcv_value(tcv1), rel=0.05)
+
+
+class TestProfileCommand:
+    def test_stage_table(self, capsys):
+        assert main(
+            ["profile", "--ne", "2", "--nparts", "6", "--method", "rb"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "K=24 method=rb nparts=6" in out
+        assert "Stage profile: rb ne=2 nparts=6 x1" in out
+        # The METIS pipeline stages and the engine stages all report.
+        for name in ("coarsen", "refine", "compute", "cache"):
+            assert name in out
+        assert "cache_misses=1" in out
+
+    def test_repeat_exercises_cache(self, capsys):
+        assert main(
+            ["profile", "--ne", "2", "--nparts", "6", "--repeat", "3"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "cache_hits=2" in out
+        assert "cache_misses=1" in out
+
+    def test_json_output(self, tmp_path, capsys):
+        path = tmp_path / "prof" / "out.json"
+        assert main(
+            [
+                "profile", "--ne", "2", "--nparts", "6",
+                "--method", "sfc", "--json", str(path),
+            ]
+        ) == 0
+        payload = json.loads(path.read_text())
+        assert payload["command"] == "profile"
+        assert payload["method"] == "sfc"
+        assert payload["repeat"] == 1
+        assert payload["elapsed_s"] > 0
+        assert "cache" in payload["stages"]
+        assert payload["stages"]["cache"]["calls"] == 1
+        assert payload["counters"]["cache_misses"] == 1
+
+    def test_repeat_rejects_nonpositive(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["profile", "--ne", "2", "--nparts", "6", "--repeat", "0"]
+            )
+
+
+class TestProfileFlags:
+    def test_partition_profile_table(self, capsys):
+        assert main(
+            ["partition", "--ne", "2", "--nparts", "4", "--profile"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "LB(nelemd)" in out  # normal output still printed
+        assert "Stage profile: partition" in out
+
+    def test_partition_profile_json(self, tmp_path, capsys):
+        path = tmp_path / "prof.json"
+        assert main(
+            [
+                "partition", "--ne", "2", "--nparts", "4",
+                "--method", "kway", "--profile-json", str(path),
+            ]
+        ) == 0
+        payload = json.loads(path.read_text())
+        assert payload["command"] == "partition"
+        assert payload["method"] == "kway"
+        assert "uncoarsen" in payload["stages"]
+
+    def test_batch_profile_json(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text(json.dumps([{"ne": 2, "nparts": 4}]))
+        path = tmp_path / "prof.json"
+        assert main(
+            ["batch", str(reqs), "--profile-json", str(path)]
+        ) == 0
+        payload = json.loads(path.read_text())
+        assert payload["command"] == "batch"
+        assert payload["counters"]["cache_misses"] == 1
+
+    def test_no_flags_no_table(self, capsys):
+        assert main(["partition", "--ne", "2", "--nparts", "4"]) == 0
+        assert "Stage profile" not in capsys.readouterr().out
