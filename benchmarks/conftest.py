@@ -32,7 +32,10 @@ def save_artifact():
         path.write_text(text + "\n")
         if data is not None:
             (RESULTS_DIR / f"{name}.data.json").write_text(
-                json.dumps(data, indent=2, sort_keys=True, default=str) + "\n"
+                json.dumps(
+                    {"schema": 1, **data}, indent=2, sort_keys=True, default=str
+                )
+                + "\n"
             )
         print(f"\n[{name}] -> {path}\n{text}")
         return path
@@ -88,7 +91,7 @@ def pytest_sessionfinish(session, exitstatus):
             continue
     RESULTS_DIR.mkdir(exist_ok=True)
     for module, entries in by_module.items():
-        payload = {"module": module, "benchmarks": entries}
+        payload = {"schema": 1, "module": module, "benchmarks": entries}
         (RESULTS_DIR / f"{module}.json").write_text(
             json.dumps(payload, indent=2, sort_keys=True, default=str) + "\n"
         )

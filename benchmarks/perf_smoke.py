@@ -76,6 +76,47 @@ def measure() -> dict[str, float]:
     return timings
 
 
+#: Telemetry-disabled overhead budget: the cost of the no-op
+#: instrumentation calls during one ``part_graph`` must stay under
+#: this fraction of the partitioner's own runtime.
+OVERHEAD_BUDGET = 0.02
+
+
+def measure_telemetry_overhead(metis_rb_seconds: float) -> dict[str, float]:
+    """Estimated disabled-telemetry overhead on ``part_graph`` at K=96.
+
+    With no collector active every instrumentation point costs one
+    module-global read plus a shared no-op context manager.  Count the
+    instrumentation events of one traced rb partition, price one
+    disabled call, and express their product as a fraction of the
+    measured ``metis_rb`` time.
+    """
+    from repro.cubesphere import cubed_sphere_mesh
+    from repro.graphs import mesh_graph
+    from repro.metis import part_graph
+    from repro.telemetry import span, telemetry_session
+
+    graph = mesh_graph(cubed_sphere_mesh(NE))
+    part_graph(graph, NPARTS, "rb")  # warm
+    with telemetry_session() as session:
+        part_graph(graph, NPARTS, "rb")
+    events = len(session.tracer.spans)
+
+    n = 100_000
+    def noop_loop() -> None:
+        for _ in range(n):
+            with span("overhead_probe", "bench"):
+                pass
+
+    noop_loop()  # warm
+    per_call = _best_of(noop_loop, repeats=3) / n
+    return {
+        "noop_span_ns": 1e9 * per_call,
+        "events_per_part_graph": events,
+        "overhead_fraction": events * per_call / metis_rb_seconds,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -92,10 +133,17 @@ def main(argv: list[str] | None = None) -> int:
     args = parser.parse_args(argv)
 
     timings = measure()
+    overhead = measure_telemetry_overhead(timings["metis_rb"])
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     RESULTS_PATH.write_text(
         json.dumps(
-            {"k": 6 * NE * NE, "nparts": NPARTS, "seconds": timings},
+            {
+                "schema": 1,
+                "k": 6 * NE * NE,
+                "nparts": NPARTS,
+                "seconds": timings,
+                "telemetry_overhead": overhead,
+            },
             indent=2,
             sort_keys=True,
         )
@@ -106,7 +154,12 @@ def main(argv: list[str] | None = None) -> int:
     if args.write_baseline:
         BASELINE_PATH.write_text(
             json.dumps(
-                {"k": 6 * NE * NE, "nparts": NPARTS, "seconds": timings},
+                {
+                    "schema": 1,
+                    "k": 6 * NE * NE,
+                    "nparts": NPARTS,
+                    "seconds": timings,
+                },
                 indent=2,
                 sort_keys=True,
             )
@@ -133,6 +186,16 @@ def main(argv: list[str] | None = None) -> int:
         )
         if ratio > args.tolerance:
             failures.append(name)
+    frac = overhead["overhead_fraction"]
+    verdict = "ok" if frac <= OVERHEAD_BUDGET else "REGRESSION"
+    print(
+        f"{'telemetry_overhead':20s} {100 * frac:8.3f} %   budget    "
+        f"{100 * OVERHEAD_BUDGET:8.3f} %          {verdict}  "
+        f"({overhead['noop_span_ns']:.0f} ns/call x "
+        f"{overhead['events_per_part_graph']:.0f} events)"
+    )
+    if frac > OVERHEAD_BUDGET:
+        failures.append("telemetry_overhead")
     if failures:
         print(
             f"FAIL: {len(failures)} metric(s) slower than "

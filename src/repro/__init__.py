@@ -36,6 +36,7 @@ from .partition import (
     sfc_partition,
 )
 from .profiling import Profiler, profiled
+from .telemetry import MetricsRegistry, TelemetrySession, telemetry_session
 from .seam import DEFAULT_COST_MODEL, SEAMCostModel
 from .service import (
     PartitionCache,
@@ -59,6 +60,7 @@ __all__ = [
     "CubedSphereMesh",
     "DEFAULT_COST_MODEL",
     "MachineSpec",
+    "MetricsRegistry",
     "P690_CLUSTER",
     "Partition",
     "PartitionCache",
@@ -70,6 +72,7 @@ __all__ = [
     "Profiler",
     "SEAMCostModel",
     "SpaceFillingCurve",
+    "TelemetrySession",
     "__version__",
     "cubed_sphere_curve",
     "cubed_sphere_mesh",
@@ -84,4 +87,5 @@ __all__ = [
     "peano_curve",
     "profiled",
     "sfc_partition",
+    "telemetry_session",
 ]

@@ -9,11 +9,19 @@ Subcommands mirror the library's main workflows:
   the cached, parallel service engine;
 * ``profile``   — per-stage wall-time profile of a partition request
   (coarsen/initial/refine/uncoarsen, cache, pool) as a table or JSON;
+* ``metrics``   — report LB/edgecut/TCV histograms and counters from a
+  saved metrics export, or serve a request file and report live;
 * ``sweep``     — the paper's Figure 7-10 sweeps as a series table;
 * ``table2``    — the paper's Table 2 for any (Ne, Nproc).
 
 ``partition`` and ``batch`` also accept ``--profile`` (print the same
 stage table after the normal output) and ``--profile-json PATH``.
+
+``partition``, ``batch`` and ``profile`` accept the unified telemetry
+flags: ``--trace-json PATH`` (Chrome/Perfetto trace-event JSON,
+including worker-process spans), ``--metrics`` (print the run's metric
+registry), ``--metrics-json PATH`` and ``--run-log PATH`` (structured
+JSON-lines).
 
 ``partition``, ``batch`` and ``sweep`` all accept ``--cache-dir`` (a
 persistent partition cache shared across invocations) and ``--jobs``
@@ -84,6 +92,37 @@ def _add_profile_flags(parser: argparse.ArgumentParser) -> None:
     )
 
 
+def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
+    """Flags activating the unified telemetry session."""
+    parser.add_argument(
+        "--trace-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a Chrome/Perfetto trace-event JSON of the run "
+        "(open in ui.perfetto.dev)",
+    )
+    parser.add_argument(
+        "--metrics",
+        action="store_true",
+        help="print the run's metrics (counters + quality histograms)",
+    )
+    parser.add_argument(
+        "--metrics-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the run's metrics registry snapshot as JSON",
+    )
+    parser.add_argument(
+        "--run-log",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write a structured JSON-lines run log (spans + metrics)",
+    )
+
+
 def _make_engine(args: argparse.Namespace):
     """Build a service engine from the common CLI flags."""
     from .service import PartitionCache, PartitionEngine
@@ -134,6 +173,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_service_flags(p_part)
     _add_profile_flags(p_part)
+    _add_telemetry_flags(p_part)
 
     p_batch = sub.add_parser(
         "batch", help="serve a file of partition requests via the engine"
@@ -156,6 +196,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_service_flags(p_batch)
     _add_profile_flags(p_batch)
+    _add_telemetry_flags(p_batch)
 
     p_prof = sub.add_parser(
         "profile", help="per-stage timing profile of one partition request"
@@ -178,6 +219,25 @@ def build_parser() -> argparse.ArgumentParser:
         "--json", type=Path, default=None, help="write the profile as JSON"
     )
     _add_service_flags(p_prof)
+    _add_telemetry_flags(p_prof)
+
+    p_metrics = sub.add_parser(
+        "metrics",
+        help="report a run's metrics (from --metrics-json / --run-log "
+        "output, or by serving a request file)",
+    )
+    p_metrics.add_argument(
+        "source",
+        type=Path,
+        help="metrics snapshot JSON, JSON-lines run log, or a batch "
+        "request file to serve and report",
+    )
+    p_metrics.add_argument(
+        "--prometheus",
+        action="store_true",
+        help="emit Prometheus text exposition instead of tables",
+    )
+    _add_service_flags(p_metrics)
 
     p_sweep = sub.add_parser("sweep", help="speedup/Gflops sweep (Figs. 7-10)")
     p_sweep.add_argument("--ne", type=int, required=True)
@@ -265,23 +325,73 @@ def _write_profile_json(path: Path, prof, **meta) -> None:
     print(f"wrote {path}", file=sys.stderr)
 
 
-def _run_profiled(args: argparse.Namespace, body, **meta) -> int:
-    """Run a handler body, optionally under the stage profiler."""
-    if not (args.profile or args.profile_json):
-        return body()
-    from .profiling import profiled
+def _write_telemetry_outputs(args: argparse.Namespace, session) -> None:
+    """Write/print every telemetry export the flags asked for."""
+    from .telemetry import write_chrome_trace, write_metrics_json, write_run_log
 
-    with profiled() as prof:
+    def _write(what, writer, path):
+        try:
+            writer(path, session)
+        except OSError as exc:
+            raise SystemExit(
+                f"repro: error: cannot write {what} to '{path}': "
+                f"{exc.strerror or exc}"
+            ) from exc
+        print(f"wrote {path}", file=sys.stderr)
+
+    if args.trace_json:
+        _write("trace", write_chrome_trace, args.trace_json)
+    if args.metrics_json:
+        _write("metrics", write_metrics_json, args.metrics_json)
+    if args.run_log:
+        _write("run log", write_run_log, args.run_log)
+    if args.metrics:
+        print()
+        print(f"Metrics (run {session.run_id})")
+        print(session.metrics.render())
+
+
+def _run_instrumented(args: argparse.Namespace, body, **meta) -> int:
+    """Run a handler body under the requested collectors.
+
+    ``--trace-json/--metrics/--metrics-json/--run-log`` open a
+    telemetry session; ``--profile/--profile-json`` additionally
+    activate the legacy stage profiler (both can collect at once —
+    the profiler is a view over the same spans).
+    """
+    want_profile = args.profile or args.profile_json
+    want_telemetry = bool(
+        args.trace_json or args.metrics or args.metrics_json or args.run_log
+    )
+    if not (want_profile or want_telemetry):
+        return body()
+    from contextlib import ExitStack
+
+    from .profiling import profiled
+    from .telemetry import telemetry_session
+
+    with ExitStack() as stack:
+        session = (
+            stack.enter_context(telemetry_session(command=args.command, **meta))
+            if want_telemetry
+            else None
+        )
+        prof = stack.enter_context(profiled()) if want_profile else None
         rc = body()
-    print()
-    print(prof.render(title=f"Stage profile: {args.command}"))
-    if args.profile_json:
-        _write_profile_json(args.profile_json, prof, command=args.command, **meta)
+    if prof is not None:
+        print()
+        print(prof.render(title=f"Stage profile: {args.command}"))
+        if args.profile_json:
+            _write_profile_json(
+                args.profile_json, prof, command=args.command, **meta
+            )
+    if session is not None:
+        _write_telemetry_outputs(args, session)
     return rc
 
 
 def _cmd_partition(args: argparse.Namespace) -> int:
-    return _run_profiled(
+    return _run_instrumented(
         args,
         lambda: _partition_body(args),
         ne=args.ne,
@@ -324,7 +434,7 @@ def _partition_body(args: argparse.Namespace) -> int:
 
 
 def _cmd_batch(args: argparse.Namespace) -> int:
-    return _run_profiled(
+    return _run_instrumented(
         args, lambda: _batch_body(args), requests=str(args.requests)
     )
 
@@ -384,13 +494,33 @@ def _batch_body(args: argparse.Namespace) -> int:
 
 
 def _cmd_profile(args: argparse.Namespace) -> int:
+    from contextlib import ExitStack
+
     from .profiling import profiled
     from .service import PartitionRequest
+    from .telemetry import telemetry_session
 
     request = PartitionRequest(
         ne=args.ne, nparts=args.nparts, method=args.method, seed=args.seed
     )
-    with _make_engine(args) as engine, profiled() as prof:
+    want_telemetry = bool(
+        args.trace_json or args.metrics or args.metrics_json or args.run_log
+    )
+    with ExitStack() as stack:
+        session = (
+            stack.enter_context(
+                telemetry_session(
+                    command="profile",
+                    ne=args.ne,
+                    nparts=args.nparts,
+                    method=args.method,
+                )
+            )
+            if want_telemetry
+            else None
+        )
+        prof = stack.enter_context(profiled())
+        engine = stack.enter_context(_make_engine(args))
         for _ in range(args.repeat):
             response = engine.serve(request)
     m = response.metrics
@@ -415,6 +545,40 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             seed=args.seed,
             repeat=args.repeat,
         )
+    if session is not None:
+        _write_telemetry_outputs(args, session)
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    """Report a run's metrics from a saved export, or serve-and-report."""
+    from .telemetry import load_metrics, telemetry_session
+
+    path = args.source
+    if not path.exists():
+        raise SystemExit(f"repro: error: metrics source '{path}' not found")
+    try:
+        registry = load_metrics(path)
+        run_label = str(path)
+    except ValueError:
+        # Not a metrics export: treat it as a batch request file and
+        # serve it through the engine, reporting the live registry.
+        from .service import load_request_file
+
+        try:
+            requests = load_request_file(path)
+        except ValueError as exc:
+            raise SystemExit(f"repro: error: {exc}")
+        with telemetry_session(command="metrics", requests=str(path)) as session:
+            with _make_engine(args) as engine:
+                engine.run(requests)
+        registry = session.metrics
+        run_label = f"{path} (served {len(requests)} requests, run {session.run_id})"
+    if args.prometheus:
+        print(registry.to_prometheus(), end="")
+    else:
+        print(f"Metrics: {run_label}")
+        print(registry.render())
     return 0
 
 
@@ -514,6 +678,7 @@ def main(argv: list[str] | None = None) -> int:
         "partition": _cmd_partition,
         "batch": _cmd_batch,
         "profile": _cmd_profile,
+        "metrics": _cmd_metrics,
         "sweep": _cmd_sweep,
         "table2": _cmd_table2,
         "trace": _cmd_trace,

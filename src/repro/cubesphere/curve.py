@@ -28,6 +28,7 @@ import numpy as np
 from ..sfc.factorization import default_schedule
 from ..sfc.generator import generate_curve
 from ..sfc.transforms import ALL_TRANSFORMS, Transform
+from ..telemetry import span
 from .mesh import CubedSphereMesh, cubed_sphere_mesh
 from .topology import NUM_FACES
 
@@ -203,7 +204,9 @@ def build_curve(
 
 @lru_cache(maxsize=32)
 def _cached_curve(ne: int, schedule: str, projection: str) -> CubedSphereCurve:
-    return build_curve(cubed_sphere_mesh(ne, projection), schedule)
+    # Only cold builds reach this span (the lru_cache answers repeats).
+    with span("cubed_sphere_curve", "sfc", ne=ne, schedule=schedule):
+        return build_curve(cubed_sphere_mesh(ne, projection), schedule)
 
 
 def cubed_sphere_curve(

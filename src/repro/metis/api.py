@@ -9,14 +9,19 @@ Mirrors the three algorithms the paper compares (Sec. 2):
 
 from __future__ import annotations
 
+from .._native import LIB as _NATIVE
 from ..graphs.csr import CSRGraph
 from ..partition.base import Partition
+from ..telemetry import inc, span
 from .bisection import recursive_bisection
 from .kway import multilevel_kway
 
 __all__ = ["part_graph", "METIS_METHODS"]
 
 METIS_METHODS = ("rb", "kway", "tv")
+
+#: Which inner-loop implementation this process selected at import.
+KERNELS = "c" if _NATIVE is not None else "python"
 
 
 def part_graph(
@@ -40,24 +45,29 @@ def part_graph(
     Returns:
         A validated :class:`Partition` (no empty parts).
     """
-    if method == "rb":
-        # METIS 4's pmetis allowed ~1% imbalance per bisection; the
-        # slack compounds over the recursion, which is why the paper's
-        # Table 2 shows RB with nonzero LB(nelemd) at 768 processors.
-        # Pass ubfactor=1.001 for a strict (near-exact) RB.
-        part = recursive_bisection(
-            graph, nparts, ubfactor=ubfactor if ubfactor is not None else 1.01, seed=seed
-        )
-    elif method in ("kway", "tv"):
-        part = multilevel_kway(
-            graph,
-            nparts,
-            ubfactor=ubfactor if ubfactor is not None else 1.03,
-            objective="cut" if method == "kway" else "volume",
-            seed=seed,
-        )
-    else:
+    if method not in METIS_METHODS:
         raise ValueError(f"unknown method {method!r}; choose from {METIS_METHODS}")
+    inc("part_graph_total", method=method, kernels=KERNELS)
+    with span("part_graph", "metis", method=method, nparts=int(nparts)):
+        if method == "rb":
+            # METIS 4's pmetis allowed ~1% imbalance per bisection; the
+            # slack compounds over the recursion, which is why the paper's
+            # Table 2 shows RB with nonzero LB(nelemd) at 768 processors.
+            # Pass ubfactor=1.001 for a strict (near-exact) RB.
+            part = recursive_bisection(
+                graph,
+                nparts,
+                ubfactor=ubfactor if ubfactor is not None else 1.01,
+                seed=seed,
+            )
+        else:
+            part = multilevel_kway(
+                graph,
+                nparts,
+                ubfactor=ubfactor if ubfactor is not None else 1.03,
+                objective="cut" if method == "kway" else "volume",
+                seed=seed,
+            )
     # RB guarantees non-empty parts; K-way (like METIS 4) may leave a
     # part empty at O(1) vertices per part — callers see an idle rank.
     part.validate(allow_empty=(method != "rb"))

@@ -16,7 +16,7 @@ import numpy as np
 
 from ..graphs.csr import CSRGraph
 from ..partition.base import Partition
-from ..profiling import stage
+from ..telemetry import span
 from .coarsen import coarsen_to
 from .initial import greedy_graph_growing, spectral_initial_bisection
 from .refine import fm_refine_bisection
@@ -51,10 +51,10 @@ def multilevel_bisection(
     target_right = total - target_left
     if not 0 < target_left < total:
         raise ValueError("target_left must be strictly between 0 and total weight")
-    with stage("coarsen"):
+    with span("coarsen", "metis"):
         levels = coarsen_to(graph, COARSEST_NVERTICES, seed=seed)
     coarsest = levels[-1].graph if levels else graph
-    with stage("initial"):
+    with span("initial", "metis"):
         if initial == "spectral" and coarsest.nvertices >= 4:
             side = spectral_initial_bisection(coarsest, target_left, seed=seed)
         else:
@@ -67,12 +67,12 @@ def multilevel_bisection(
     if max_left + max_right < total:  # pragma: no cover - defensive
         max_left = total - target_right
         max_right = total - target_left
-    with stage("refine"):
+    with span("refine", "metis"):
         side = fm_refine_bisection(coarsest, side, max_left, max_right)
     # Project back through the hierarchy, refining at every level.
     # levels[i] was contracted from fine_graphs[i].
     fine_graphs = [graph] + [lv.graph for lv in levels[:-1]]
-    with stage("uncoarsen"):
+    with span("uncoarsen", "metis"):
         for level, fine in zip(reversed(levels), reversed(fine_graphs)):
             side = side[level.fine_to_coarse]
             side = fm_refine_bisection(fine, side, max_left, max_right)
@@ -108,7 +108,7 @@ def recursive_bisection(
         if parts == 1:
             assignment[ids] = first
             continue
-        with stage("subgraph"):
+        with span("subgraph", "metis"):
             sub, mapping = graph.subgraph(ids)
         left_parts = parts // 2
         right_parts = parts - left_parts

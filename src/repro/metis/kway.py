@@ -19,7 +19,7 @@ import numpy as np
 
 from ..graphs.csr import CSRGraph
 from ..partition.base import Partition
-from ..profiling import stage
+from ..telemetry import span
 from .coarsen import coarsen_to
 from .bisection import recursive_bisection
 from .refine import greedy_kway_refine
@@ -55,23 +55,23 @@ def multilevel_kway(
     if not 1 <= nparts <= n:
         raise ValueError("need 1 <= nparts <= nvertices")
     target = max(COARSEN_VERTICES_PER_PART * nparts, MIN_COARSE_VERTICES)
-    with stage("coarsen"):
+    with span("coarsen", "metis"):
         levels = coarsen_to(graph, target, seed=seed)
     coarsest = levels[-1].graph if levels else graph
     # Initial K-way partition of the coarsest graph.  A slightly loose
     # per-bisection tolerance mirrors kmetis (the refinement owns the
     # final balance, not the initial split).
-    with stage("initial"):
+    with span("initial", "metis"):
         init = recursive_bisection(
             coarsest, nparts, ubfactor=1.01, seed=seed, initial="ggg"
         )
     assignment = init.assignment.copy()
-    with stage("refine"):
+    with span("refine", "metis"):
         assignment = greedy_kway_refine(
             coarsest, assignment, nparts, ubfactor, objective, seed=seed
         )
     fine_graphs = [graph] + [lv.graph for lv in levels[:-1]]
-    with stage("uncoarsen"):
+    with span("uncoarsen", "metis"):
         for level, fine in zip(reversed(levels), reversed(fine_graphs)):
             assignment = assignment[level.fine_to_coarse]
             assignment = greedy_kway_refine(

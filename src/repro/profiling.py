@@ -1,10 +1,15 @@
-"""Lightweight stage profiler for the partitioning pipeline.
+"""Legacy stage profiler — a thin view over :mod:`repro.telemetry`.
 
-The hot paths (multilevel METIS, halo-schedule construction, the
-service engine) are annotated with :func:`stage` blocks and
-:func:`counter` bumps.  When no profiler is active these cost one
-global read each — the library runs unchanged.  Activating one with
-:func:`profiled` collects per-stage wall time and call counts:
+The original stage profiler predates the unified telemetry layer; its
+API (:func:`profiled`, :func:`stage`, :func:`counter`) and output
+(``--profile`` tables, ``--profile-json``) are kept working, but the
+instrumentation points now live in :mod:`repro.telemetry.runtime`:
+``stage`` *is* a telemetry span and ``counter`` *is* a telemetry
+counter.  Activating :func:`profiled` installs a :class:`Profiler` as
+the telemetry runtime's legacy collector, so every span's duration and
+every counter bump is accumulated here too — including spans recorded
+inside pool worker processes, which the engine ships back and replays
+(the gap the old profiler documented is closed).
 
     with profiled() as prof:
         part_graph(graph, 64, "rb")
@@ -14,9 +19,7 @@ global read each — the library runs unchanged.  Activating one with
 Stages may nest (K-way's initial partition runs the whole recursive
 bisection pipeline inside its ``initial`` stage), so stage times can
 overlap and percentages are of elapsed wall time, not of a partition
-of it.  Worker processes of the service pool do not report their inner
-stages back to the parent profiler — pool fan-out shows up as the
-``pool`` stage.
+of it.
 """
 
 from __future__ import annotations
@@ -25,9 +28,10 @@ import json
 from contextlib import contextmanager
 from time import perf_counter
 
-__all__ = ["Profiler", "profiled", "stage", "counter", "active_profiler"]
+from .telemetry import runtime as _runtime
+from .telemetry.metrics import SCHEMA_VERSION
 
-_ACTIVE: Profiler | None = None
+__all__ = ["Profiler", "profiled", "stage", "counter", "active_profiler"]
 
 
 class Profiler:
@@ -63,6 +67,7 @@ class Profiler:
     def as_dict(self) -> dict:
         """JSON-ready summary of everything collected."""
         return {
+            "schema": SCHEMA_VERSION,
             "elapsed_s": self.elapsed_s,
             "stages": {
                 name: {"seconds": self.seconds[name], "calls": self.calls[name]}
@@ -99,38 +104,29 @@ class Profiler:
 
 def active_profiler() -> Profiler | None:
     """The profiler currently collecting, or ``None``."""
-    return _ACTIVE
+    return _runtime.active_profiler()
 
 
 @contextmanager
 def profiled():
-    """Activate a fresh :class:`Profiler` for the enclosed block."""
-    global _ACTIVE
+    """Activate a fresh :class:`Profiler` for the enclosed block.
+
+    Composes with :func:`repro.telemetry.telemetry_session`: when both
+    are active, spans and counters feed both collectors.
+    """
     prof = Profiler()
-    previous = _ACTIVE
-    _ACTIVE = prof
     try:
-        yield prof
+        with _runtime.activate(profiler=prof):
+            yield prof
     finally:
-        _ACTIVE = previous
         prof.finish()
 
 
-@contextmanager
 def stage(name: str):
     """Time the enclosed block under ``name`` (no-op when inactive)."""
-    prof = _ACTIVE
-    if prof is None:
-        yield
-        return
-    t0 = perf_counter()
-    try:
-        yield
-    finally:
-        prof.add(name, perf_counter() - t0)
+    return _runtime.span(name, "stage")
 
 
 def counter(name: str, n: int = 1) -> None:
     """Bump a named counter (no-op when inactive)."""
-    if _ACTIVE is not None:
-        _ACTIVE.count(name, n)
+    _runtime.inc(name, n)

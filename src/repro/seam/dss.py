@@ -23,7 +23,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from ..partition.base import Partition
-from ..profiling import stage
+from ..telemetry import inc, span
 from .element import GridGeometry
 
 __all__ = [
@@ -204,8 +204,11 @@ def build_halo_schedule(
         Dict ``(src, dst) -> number of point values``.
     """
     nparts = partition.nparts
-    with stage("halo"):
-        return _halo_schedule(point_map, partition, nparts)
+    with span("halo", "seam", nparts=int(nparts)):
+        schedule = _halo_schedule(point_map, partition, nparts)
+    inc("halo_schedules_built")
+    inc("halo_schedule_pairs", len(schedule))
+    return schedule
 
 
 def _halo_schedule(

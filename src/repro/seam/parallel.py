@@ -20,6 +20,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from ..partition.base import Partition
+from ..telemetry import inc, span
 from .dss import PointMap, build_point_map
 from .element import GridGeometry
 from .transport import TransportSolver
@@ -212,20 +213,22 @@ class PartitionedDSS:
         Numerically equal to :meth:`repro.seam.dss.DSSOperator.apply`
         up to floating-point summation order (tested to 1e-12).
         """
-        partials = [
-            self._gather_rank(r, self.local_mass * field_)
-            for r in range(self.nranks)
-        ]
-        self._exchange_into(partials)
-        out = np.empty_like(field_)
-        for r in range(self.nranks):
-            elems = self.rank_elements[r]
-            if not len(elems):
-                continue
-            averaged = partials[r] / self.rank_mass[r]
-            out[elems] = averaged[self._rank_idx[r]].reshape(
-                len(elems), *field_.shape[1:]
-            )
+        with span("pdss_apply", "seam"):
+            partials = [
+                self._gather_rank(r, self.local_mass * field_)
+                for r in range(self.nranks)
+            ]
+            self._exchange_into(partials)
+            out = np.empty_like(field_)
+            for r in range(self.nranks):
+                elems = self.rank_elements[r]
+                if not len(elems):
+                    continue
+                averaged = partials[r] / self.rank_mass[r]
+                out[elems] = averaged[self._rank_idx[r]].reshape(
+                    len(elems), *field_.shape[1:]
+                )
+        inc("pdss_applies")
         return out
 
     def is_continuous(self, field_: np.ndarray, atol: float = 1e-12) -> bool:

@@ -27,7 +27,15 @@ from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
 from time import perf_counter
 
-from ..profiling import counter, stage
+from ..telemetry import (
+    inc,
+    observe,
+    replay_payload,
+    set_gauge,
+    span,
+    telemetry_active,
+    worker_session,
+)
 from .cache import PartitionCache
 from .requests import PartitionRequest, PartitionResponse, quality_metrics
 from .stats import ServiceStats
@@ -48,15 +56,25 @@ def compute_response(request: PartitionRequest) -> PartitionResponse:
     from ..seam.cost import DEFAULT_COST_MODEL
 
     start = perf_counter()
-    partition = make_partition(
-        request.ne,
-        request.nparts,
-        request.method,
-        seed=request.seed,
-        schedule=request.schedule,
-    )
-    graph = _graph_for(request.ne, DEFAULT_COST_MODEL.npts)
-    quality = evaluate_partition(graph, partition)
+    with span(
+        "compute",
+        "service",
+        key=request.cache_key()[:12],
+        method=request.method,
+        ne=request.ne,
+        nparts=request.nparts,
+    ):
+        with span("make_partition", "service", method=request.method):
+            partition = make_partition(
+                request.ne,
+                request.nparts,
+                request.method,
+                seed=request.seed,
+                schedule=request.schedule,
+            )
+        graph = _graph_for(request.ne, DEFAULT_COST_MODEL.npts)
+        with span("evaluate_partition", "service"):
+            quality = evaluate_partition(graph, partition)
     return PartitionResponse(
         request=request,
         assignment=partition.assignment,
@@ -64,6 +82,34 @@ def compute_response(request: PartitionRequest) -> PartitionResponse:
         elapsed_s=perf_counter() - start,
         source="computed",
     )
+
+
+def _pool_compute(item: tuple[PartitionRequest, bool]):
+    """Pool task: compute one response, optionally with telemetry.
+
+    When the parent had a collector active, a fresh worker-local
+    session records every span and metric produced by the computation
+    and ships them back alongside the response (the parent replays the
+    payload into its own collectors).
+    """
+    request, collect = item
+    if not collect:
+        return compute_response(request), None
+    with worker_session() as session:
+        response = compute_response(request)
+    return response, session.to_payload()
+
+
+def _record_response_metrics(response: PartitionResponse) -> None:
+    """Per-request quality metrics and source counters (no-op when idle)."""
+    inc("service_requests_total", source=response.source)
+    m = response.metrics
+    observe("request_lb_nelemd", m["lb_nelemd"])
+    observe("request_lb_spcv", m["lb_spcv"])
+    observe("request_edgecut", m["edgecut"])
+    observe("request_tcv_points", m["total_volume_points"])
+    if response.source == "computed":
+        observe("request_compute_seconds", response.elapsed_s)
 
 
 class PartitionEngine:
@@ -105,25 +151,34 @@ class PartitionEngine:
     ) -> list[PartitionResponse]:
         """Serve a batch; responses align with ``requests`` by index."""
         start = perf_counter()
+        with span("engine_run", "service", requests=len(requests), jobs=self.jobs):
+            responses = self._run_batch(requests)
+        self.stats.record_batch_wall(perf_counter() - start)
+        return responses
+
+    def _run_batch(
+        self, requests: Sequence[PartitionRequest]
+    ) -> list[PartitionResponse]:
         # Dedupe by content hash, preserving first-seen order.
         order: list[str] = []
         unique: dict[str, PartitionRequest] = {}
-        for req in requests:
-            key = req.cache_key()
-            order.append(key)
-            unique.setdefault(key, req)
+        with span("dedup", "service"):
+            for req in requests:
+                key = req.cache_key()
+                order.append(key)
+                unique.setdefault(key, req)
 
         resolved: dict[str, PartitionResponse] = {}
         misses: list[PartitionRequest] = []
-        with stage("cache"):
+        with span("cache", "service"):
             for key, req in unique.items():
                 hit = self.cache.get(req)
                 if hit is not None:
                     resolved[key] = hit
                 else:
                     misses.append(req)
-        counter("cache_hits", len(resolved))
-        counter("cache_misses", len(misses))
+        inc("cache_hits", len(resolved))
+        inc("cache_misses", len(misses))
 
         for response in self._compute_all(misses):
             self.cache.put(response.request, response)
@@ -142,7 +197,7 @@ class PartitionEngine:
             responses.append(response)
         for response in responses:
             self.stats.record(response)
-        self.stats.record_batch_wall(perf_counter() - start)
+            _record_response_metrics(response)
         return responses
 
     def _compute_all(
@@ -151,11 +206,24 @@ class PartitionEngine:
         if not misses:
             return []
         if self.jobs == 1 or len(misses) == 1:
-            with stage("compute"):
+            with span("compute_inline", "service"):
                 return [compute_response(req) for req in misses]
         # The pool persists across run() calls: repeated sweeps pay the
         # worker fork/import cost once per engine, not once per batch.
         if self._pool is None:
             self._pool = ProcessPoolExecutor(max_workers=self.jobs)
-        with stage("pool"):
-            return list(self._pool.map(compute_response, misses))
+        collect = telemetry_active()
+        set_gauge("pool_queue_depth", len(misses))
+        responses: list[PartitionResponse] = []
+        with span("pool", "service", misses=len(misses), jobs=self.jobs):
+            # Replay inside the pool span so worker spans re-parent
+            # under it in the trace.
+            for response, payload in self._pool.map(
+                _pool_compute, [(req, collect) for req in misses]
+            ):
+                if payload is not None:
+                    replay_payload(payload)
+                    inc("worker_payloads_merged")
+                responses.append(response)
+        set_gauge("pool_queue_depth", 0)
+        return responses

@@ -184,6 +184,7 @@ class PartitionResponse:
     def to_json(self) -> str:
         return json.dumps(
             {
+                "schema": 1,
                 "request": self.request.canonical(),
                 "assignment": self.assignment.tolist(),
                 "metrics": self.metrics,

@@ -20,6 +20,7 @@ from functools import lru_cache
 
 import numpy as np
 
+from ..telemetry import span
 from .curves import TEMPLATES, CurveTemplate
 from .factorization import default_schedule, schedule_size
 
@@ -123,10 +124,14 @@ def _generate_cached(schedule: str) -> SpaceFillingCurve:
         if code not in ("H", "P"):
             raise ValueError(f"unknown refinement code {code!r}")
     n = schedule_size(schedule)
-    coords = _expand(schedule)
-    index = np.empty((n, n), dtype=np.int64)
-    index[coords[:, 0], coords[:, 1]] = np.arange(n * n, dtype=np.int64)
-    return SpaceFillingCurve(schedule=schedule, size=n, coords=coords, index=index)
+    # Only cold builds reach this span (the lru_cache answers repeats).
+    with span("generate_curve", "sfc", schedule=schedule, size=n):
+        coords = _expand(schedule)
+        index = np.empty((n, n), dtype=np.int64)
+        index[coords[:, 0], coords[:, 1]] = np.arange(n * n, dtype=np.int64)
+        return SpaceFillingCurve(
+            schedule=schedule, size=n, coords=coords, index=index
+        )
 
 
 def generate_curve(

@@ -1,0 +1,100 @@
+"""Unified telemetry: spans, metrics, and structured run exports.
+
+One coherent observability layer for the whole partitioning stack:
+
+* :mod:`~repro.telemetry.runtime` — the instrumentation API
+  (:func:`span`, :func:`inc`, :func:`observe`, :func:`set_gauge`) and
+  the session lifecycle (:func:`telemetry_session`,
+  :func:`worker_session`, :func:`replay_payload`).  Disabled cost is
+  one global read per instrumentation point;
+* :mod:`~repro.telemetry.spans` — span records with run-wide ids and a
+  cross-process (epoch-microsecond) timeline;
+* :mod:`~repro.telemetry.metrics` — Prometheus-shaped counters,
+  gauges, and fixed-bucket histograms with per-metric defaults for the
+  paper's quality metrics (LB(nelemd), LB(spcv), edgecut, TCV);
+* :mod:`~repro.telemetry.exporters` — Chrome/Perfetto trace JSON,
+  Prometheus text exposition, JSON-lines run logs (all stamped
+  ``"schema": 1`` + run id).
+
+Quickstart::
+
+    from repro import part_graph, mesh_graph
+    from repro.cubesphere import cubed_sphere_mesh
+    from repro.telemetry import telemetry_session
+    from repro.telemetry.exporters import write_chrome_trace
+
+    with telemetry_session(command="demo") as session:
+        part_graph(mesh_graph(cubed_sphere_mesh(8)), 96, "rb")
+    write_chrome_trace("trace.json", session)   # open in ui.perfetto.dev
+    print(session.metrics.to_prometheus())
+
+The legacy :mod:`repro.profiling` API (``profiled`` / ``stage`` /
+``counter``) is a thin compatibility view over this layer.
+"""
+
+from .exporters import (
+    chrome_trace,
+    load_metrics,
+    metrics_snapshot,
+    read_run_log,
+    write_chrome_trace,
+    write_metrics_json,
+    write_prometheus,
+    write_run_log,
+)
+from .metrics import (
+    BUCKETS_BY_METRIC,
+    DEFAULT_BUCKETS,
+    SCHEMA_VERSION,
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+)
+from .runtime import (
+    TelemetrySession,
+    activate,
+    active_profiler,
+    current_session,
+    inc,
+    observe,
+    replay_payload,
+    set_gauge,
+    span,
+    telemetry_active,
+    telemetry_session,
+    worker_session,
+)
+from .spans import Span, SpanCollector
+
+__all__ = [
+    "BUCKETS_BY_METRIC",
+    "Counter",
+    "DEFAULT_BUCKETS",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "SCHEMA_VERSION",
+    "Span",
+    "SpanCollector",
+    "TelemetrySession",
+    "activate",
+    "active_profiler",
+    "chrome_trace",
+    "current_session",
+    "inc",
+    "load_metrics",
+    "metrics_snapshot",
+    "observe",
+    "read_run_log",
+    "replay_payload",
+    "set_gauge",
+    "span",
+    "telemetry_active",
+    "telemetry_session",
+    "worker_session",
+    "write_chrome_trace",
+    "write_metrics_json",
+    "write_prometheus",
+    "write_run_log",
+]

@@ -1,0 +1,202 @@
+"""Telemetry exporters: Chrome trace JSON, Prometheus text, JSONL logs.
+
+Three machine-readable views of one :class:`TelemetrySession`:
+
+* :func:`chrome_trace` / :func:`write_chrome_trace` — the Chrome /
+  Perfetto trace-event format (``chrome://tracing``,
+  https://ui.perfetto.dev): one complete (``"ph": "X"``) event per
+  span, worker spans on their own track of the parent process;
+* :func:`write_prometheus` — the registry's text exposition, for
+  scraping or diffing;
+* :func:`write_run_log` / :func:`read_run_log` — structured JSON-lines:
+  a ``run`` header line, one ``span`` line per span, one ``metric``
+  line per metric.  Readers tolerate unknown kinds and fields, so the
+  format can grow without breaking old tooling.
+
+Every export carries ``"schema": 1`` and the session's run id.
+:func:`load_metrics` reads the registry back from either a metrics
+snapshot JSON or a run log.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from .metrics import SCHEMA_VERSION, MetricsRegistry
+from .runtime import TelemetrySession
+
+__all__ = [
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_prometheus",
+    "metrics_snapshot",
+    "write_metrics_json",
+    "write_run_log",
+    "read_run_log",
+    "load_metrics",
+]
+
+
+def chrome_trace(session: TelemetrySession) -> dict:
+    """The session's spans as a Chrome trace-event JSON object."""
+    events: list[dict] = []
+    pids: dict[int, None] = {}
+    if session.tracer is not None:
+        for span in session.tracer.spans:
+            pids.setdefault(span.pid, None)
+            args = dict(span.args)
+            args["span_id"] = span.id
+            if span.parent:
+                args["parent_id"] = span.parent
+            events.append(
+                {
+                    "name": span.name,
+                    "cat": span.cat or "repro",
+                    "ph": "X",
+                    "ts": span.ts_us,
+                    "dur": span.dur_us,
+                    "pid": span.pid,
+                    "tid": span.tid,
+                    "args": args,
+                }
+            )
+    for pid in pids:
+        events.append(
+            {
+                "name": "process_name",
+                "ph": "M",
+                "pid": pid,
+                "tid": 0,
+                "args": {"name": f"repro run {session.run_id}"},
+            }
+        )
+    return {
+        "schema": SCHEMA_VERSION,
+        "run_id": session.run_id,
+        "displayTimeUnit": "ms",
+        "meta": dict(session.meta),
+        "traceEvents": events,
+    }
+
+
+def write_chrome_trace(path: Path | str, session: TelemetrySession) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(json.dumps(chrome_trace(session), indent=1) + "\n")
+    return path
+
+
+def write_prometheus(path: Path | str, session: TelemetrySession) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    registry = session.metrics if session.metrics is not None else MetricsRegistry()
+    path.write_text(registry.to_prometheus())
+    return path
+
+
+def metrics_snapshot(session: TelemetrySession) -> dict:
+    """JSON-ready snapshot of the session's metrics registry."""
+    return {
+        "schema": SCHEMA_VERSION,
+        "kind": "metrics",
+        "run_id": session.run_id,
+        "meta": dict(session.meta),
+        "metrics": (
+            session.metrics.snapshot() if session.metrics is not None else []
+        ),
+    }
+
+
+def write_metrics_json(path: Path | str, session: TelemetrySession) -> Path:
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(
+        json.dumps(metrics_snapshot(session), indent=2, sort_keys=True) + "\n"
+    )
+    return path
+
+
+def write_run_log(path: Path | str, session: TelemetrySession) -> Path:
+    """Structured JSON-lines run log (one event object per line)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    lines = [
+        json.dumps(
+            {
+                "schema": SCHEMA_VERSION,
+                "kind": "run",
+                "run_id": session.run_id,
+                "started_unix": session.started_unix,
+                "meta": dict(session.meta),
+            },
+            sort_keys=True,
+        )
+    ]
+    if session.tracer is not None:
+        for span in session.tracer.spans:
+            lines.append(
+                json.dumps(
+                    {"kind": "span", "run_id": session.run_id, **span.to_dict()},
+                    sort_keys=True,
+                )
+            )
+    if session.metrics is not None:
+        for entry in session.metrics.snapshot():
+            # The entry carries its own "kind" (counter/gauge/histogram),
+            # so it nests under "metric" rather than spreading flat.
+            lines.append(
+                json.dumps(
+                    {"kind": "metric", "run_id": session.run_id, "metric": entry},
+                    sort_keys=True,
+                )
+            )
+    path.write_text("\n".join(lines) + "\n")
+    return path
+
+
+def read_run_log(path: Path | str) -> dict:
+    """Parse a run log into ``{"run": ..., "spans": [...], "metrics": ...}``.
+
+    Unknown kinds and fields are ignored (forward compatibility).
+    """
+    run: dict = {}
+    spans: list[dict] = []
+    snapshot: list[dict] = []
+    for line in Path(path).read_text().splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        kind = event.get("kind")
+        if kind == "run":
+            run = event
+        elif kind == "span":
+            spans.append(event)
+        elif kind == "metric" and isinstance(event.get("metric"), dict):
+            snapshot.append(event["metric"])
+        # other kinds: tolerated, skipped
+    return {
+        "run": run,
+        "spans": spans,
+        "metrics": MetricsRegistry.from_snapshot(snapshot),
+    }
+
+
+def load_metrics(path: Path | str) -> MetricsRegistry:
+    """Load a registry from a metrics snapshot JSON or a JSONL run log."""
+    path = Path(path)
+    text = path.read_text()
+    try:
+        data = json.loads(text)
+    except json.JSONDecodeError:
+        return read_run_log(path)["metrics"]
+    if isinstance(data, dict) and isinstance(data.get("metrics"), list):
+        return MetricsRegistry.from_snapshot(data["metrics"])
+    raise ValueError(
+        f"{path}: not a metrics snapshot (expected a 'metrics' list) "
+        "or JSONL run log"
+    )

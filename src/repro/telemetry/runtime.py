@@ -1,0 +1,292 @@
+"""Telemetry runtime: the global collector state and instrumentation API.
+
+Instrumentation points throughout the library call :func:`span`,
+:func:`inc`, :func:`observe` and :func:`set_gauge`.  When nothing is
+collecting, each costs **one module-global read** (``span`` returns a
+shared no-op context manager; the metric helpers return immediately) —
+the library runs unchanged.
+
+Two kinds of collector can be active, separately or together:
+
+* a :class:`TelemetrySession` (run id, span tracer, metrics registry) —
+  activated with :func:`telemetry_session`;
+* a legacy :class:`repro.profiling.Profiler` — activated through
+  :func:`repro.profiling.profiled`, which delegates to
+  :func:`activate` here.  The profiler receives the same span
+  durations and counter bumps, so ``--profile`` output is a *view*
+  over telemetry events.
+
+Worker processes of the service pool activate a fresh session with
+:func:`worker_session`, export it as a picklable payload, and the
+parent merges it with :func:`replay_payload` — spans land in the
+parent's tracer (re-parented under the span open at ingest time, e.g.
+the engine's ``pool`` span), counters and histograms fold into the
+parent's registry, and an active legacy profiler finally sees
+worker-side stages (closing the gap documented by the old profiler).
+"""
+
+from __future__ import annotations
+
+import uuid
+from contextlib import contextmanager
+from time import perf_counter, time, time_ns
+
+from .metrics import SCHEMA_VERSION, MetricsRegistry
+from .spans import SpanCollector
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "TelemetrySession",
+    "telemetry_session",
+    "worker_session",
+    "current_session",
+    "telemetry_active",
+    "activate",
+    "active_profiler",
+    "replay_payload",
+    "span",
+    "inc",
+    "observe",
+    "set_gauge",
+]
+
+
+class TelemetrySession:
+    """One run's collectors: a span tracer and a metrics registry.
+
+    Args:
+        run_id: Stable identifier stamped on every export; generated
+            when omitted.
+        trace: Collect spans.
+        metrics: Collect metrics.
+        meta: Free-form JSON-serializable annotations (command, args).
+    """
+
+    def __init__(
+        self,
+        run_id: str | None = None,
+        trace: bool = True,
+        metrics: bool = True,
+        meta: dict | None = None,
+    ) -> None:
+        self.run_id = run_id or uuid.uuid4().hex[:16]
+        self.started_unix = time()
+        self.tracer = SpanCollector() if trace else None
+        self.metrics = MetricsRegistry() if metrics else None
+        self.meta = dict(meta or {})
+
+    def to_payload(self) -> dict:
+        """Picklable export of everything collected (worker -> parent)."""
+        return {
+            "schema": SCHEMA_VERSION,
+            "run_id": self.run_id,
+            "spans": self.tracer.export() if self.tracer is not None else [],
+            "metrics": (
+                self.metrics.snapshot() if self.metrics is not None else []
+            ),
+        }
+
+
+class _State:
+    """What is currently collecting (at most one active per process)."""
+
+    __slots__ = ("session", "profiler")
+
+    def __init__(self, session, profiler) -> None:
+        self.session = session
+        self.profiler = profiler
+
+
+_STATE: _State | None = None
+_KEEP = object()  # sentinel: inherit the currently-active collector
+
+
+@contextmanager
+def activate(session=_KEEP, profiler=_KEEP):
+    """Install collectors for the enclosed block (composable).
+
+    Passing ``session=`` or ``profiler=`` replaces that collector for
+    the block; the one not passed is inherited from the current state,
+    so a profiler opened inside a telemetry session feeds both.
+    """
+    global _STATE
+    prev = _STATE
+    new_session = (prev.session if prev else None) if session is _KEEP else session
+    new_profiler = (
+        (prev.profiler if prev else None) if profiler is _KEEP else profiler
+    )
+    _STATE = (
+        _State(new_session, new_profiler)
+        if (new_session is not None or new_profiler is not None)
+        else None
+    )
+    try:
+        yield
+    finally:
+        _STATE = prev
+
+
+@contextmanager
+def telemetry_session(
+    run_id: str | None = None,
+    trace: bool = True,
+    metrics: bool = True,
+    **meta,
+):
+    """Activate a fresh :class:`TelemetrySession` for the block."""
+    session = TelemetrySession(run_id, trace=trace, metrics=metrics, meta=meta)
+    with activate(session=session):
+        yield session
+
+
+@contextmanager
+def worker_session():
+    """Collector for one task inside a pool worker process.
+
+    Replaces any inherited collector (worker processes are forked, so
+    the parent's registry object must not be touched) and exposes
+    :meth:`TelemetrySession.to_payload` for shipping back.
+    """
+    session = TelemetrySession(trace=True, metrics=True)
+    with activate(session=session, profiler=None):
+        yield session
+
+
+def current_session() -> TelemetrySession | None:
+    """The active session, or ``None``."""
+    state = _STATE
+    return state.session if state is not None else None
+
+
+def active_profiler():
+    """The active legacy profiler, or ``None``."""
+    state = _STATE
+    return state.profiler if state is not None else None
+
+
+def telemetry_active() -> bool:
+    """Whether *any* collector (session or profiler) is active."""
+    return _STATE is not None
+
+
+def replay_payload(payload: dict | None) -> None:
+    """Merge a worker payload into whatever is collecting here."""
+    state = _STATE
+    if state is None or not payload:
+        return
+    spans = payload.get("spans") or []
+    session = state.session
+    if session is not None:
+        if session.tracer is not None and spans:
+            session.tracer.ingest(
+                spans, attach_parent=session.tracer.open_parent()
+            )
+        snapshot = payload.get("metrics")
+        if snapshot and session.metrics is not None:
+            session.metrics.merge(snapshot)
+    profiler = state.profiler
+    if profiler is not None:
+        for data in spans:
+            profiler.add(str(data["name"]), float(data["dur_us"]) / 1e6)
+        for entry in payload.get("metrics") or []:
+            if entry.get("kind") == "counter" and not entry.get("labels"):
+                profiler.count(str(entry["name"]), int(entry.get("value", 0)))
+
+
+# -- instrumentation points --------------------------------------------------
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager for the disabled path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> None:
+        return None
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP = _NoopSpan()
+
+
+class _LiveSpan:
+    """Times one region and reports it to the active collectors."""
+
+    __slots__ = ("_state", "_name", "_cat", "_args", "_sid", "_parent", "_ts", "_t0")
+
+    def __init__(self, state: _State, name: str, cat: str, args: dict) -> None:
+        self._state = state
+        self._name = name
+        self._cat = cat
+        self._args = args
+
+    def __enter__(self) -> "_LiveSpan":
+        session = self._state.session
+        tracer = session.tracer if session is not None else None
+        if tracer is not None:
+            self._sid, self._parent = tracer.begin()
+        else:
+            self._sid = 0
+        self._ts = time_ns()
+        self._t0 = perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        dt = perf_counter() - self._t0
+        state = self._state
+        if state.profiler is not None:
+            state.profiler.add(self._name, dt)
+        session = state.session
+        if session is not None and session.tracer is not None:
+            session.tracer.end(
+                self._sid,
+                self._parent,
+                self._name,
+                self._cat,
+                self._ts // 1000,
+                dt * 1e6,
+                self._args,
+            )
+        return False
+
+
+def span(name: str, cat: str = "", **args):
+    """Time the enclosed block (one global read when disabled)."""
+    state = _STATE
+    if state is None:
+        return _NOOP
+    return _LiveSpan(state, name, cat, args)
+
+
+def inc(name: str, n: float = 1, **labels: str) -> None:
+    """Bump a counter (and the legacy profiler's counter table)."""
+    state = _STATE
+    if state is None:
+        return
+    if state.profiler is not None and not labels:
+        state.profiler.count(name, int(n))
+    session = state.session
+    if session is not None and session.metrics is not None:
+        session.metrics.counter(name, **labels).inc(n)
+
+
+def observe(name: str, value: float, **labels: str) -> None:
+    """Record one histogram observation."""
+    state = _STATE
+    if state is None:
+        return
+    session = state.session
+    if session is not None and session.metrics is not None:
+        session.metrics.histogram(name, **labels).observe(value)
+
+
+def set_gauge(name: str, value: float, **labels: str) -> None:
+    """Set a gauge to an instantaneous value."""
+    state = _STATE
+    if state is None:
+        return
+    session = state.session
+    if session is not None and session.metrics is not None:
+        session.metrics.gauge(name, **labels).set(value)

@@ -1,0 +1,167 @@
+"""Span records and the per-session span collector.
+
+A :class:`Span` is one timed region of work — a stage of the multilevel
+partitioner, a cache lookup, a worker-side compute — identified by a
+session-unique integer id and linked to its enclosing span through
+``parent`` (0 means top-level).  Timestamps are epoch microseconds
+(``time.time_ns() // 1000``) so spans recorded in *different processes*
+share one timeline; durations are measured with ``perf_counter`` for
+precision.
+
+The :class:`SpanCollector` owns the open-span stack of one session and
+the id allocator.  Spans produced in a worker process are shipped back
+as plain dicts (:meth:`Span.to_dict`) and re-ingested with
+:meth:`SpanCollector.ingest`, which remaps ids into the parent's id
+space and re-parents the worker's top-level spans under the span that
+was open when the result arrived (the engine's ``pool`` span).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass, field
+
+__all__ = ["Span", "SpanCollector"]
+
+
+@dataclass
+class Span:
+    """One completed timed region.
+
+    Attributes:
+        id: Session-unique positive integer.
+        parent: Id of the enclosing span, 0 for top-level.
+        name: Stage name (``coarsen``, ``cache_lookup``, ...).
+        cat: Category (``metis``, ``service``, ``sfc``, ...).
+        ts_us: Start time, epoch microseconds (cross-process timeline).
+        dur_us: Duration in microseconds.
+        pid: Process the span is displayed under.
+        tid: Track within the process (workers get their own track).
+        args: Small JSON-serializable annotations.
+    """
+
+    id: int
+    parent: int
+    name: str
+    cat: str
+    ts_us: int
+    dur_us: float
+    pid: int
+    tid: int
+    args: dict = field(default_factory=dict)
+
+    def to_dict(self) -> dict:
+        return {
+            "id": self.id,
+            "parent": self.parent,
+            "name": self.name,
+            "cat": self.cat,
+            "ts_us": self.ts_us,
+            "dur_us": self.dur_us,
+            "pid": self.pid,
+            "tid": self.tid,
+            "args": dict(self.args),
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "Span":
+        # Tolerate unknown fields: readers only take what they know.
+        return cls(
+            id=int(data["id"]),
+            parent=int(data.get("parent", 0)),
+            name=str(data["name"]),
+            cat=str(data.get("cat", "")),
+            ts_us=int(data["ts_us"]),
+            dur_us=float(data["dur_us"]),
+            pid=int(data.get("pid", 0)),
+            tid=int(data.get("tid", 1)),
+            args=dict(data.get("args") or {}),
+        )
+
+
+class SpanCollector:
+    """Collects completed spans and tracks the open-span stack."""
+
+    def __init__(self, pid: int | None = None) -> None:
+        self.spans: list[Span] = []
+        self.pid = pid if pid is not None else os.getpid()
+        self._stack: list[int] = []
+        self._next = 1
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def begin(self) -> tuple[int, int]:
+        """Open a span; returns ``(id, parent_id)``."""
+        sid = self._next
+        self._next += 1
+        parent = self._stack[-1] if self._stack else 0
+        self._stack.append(sid)
+        return sid, parent
+
+    def end(
+        self,
+        sid: int,
+        parent: int,
+        name: str,
+        cat: str,
+        ts_us: int,
+        dur_us: float,
+        args: dict,
+    ) -> None:
+        """Close the span opened as ``sid`` and record it."""
+        if self._stack and self._stack[-1] == sid:
+            self._stack.pop()
+        elif sid in self._stack:  # pragma: no cover - defensive
+            self._stack.remove(sid)
+        self.spans.append(
+            Span(
+                id=sid,
+                parent=parent,
+                name=name,
+                cat=cat,
+                ts_us=ts_us,
+                dur_us=dur_us,
+                pid=self.pid,
+                tid=1,
+                args=args,
+            )
+        )
+
+    def open_parent(self) -> int:
+        """Id of the innermost currently-open span (0 if none)."""
+        return self._stack[-1] if self._stack else 0
+
+    def ingest(self, span_dicts: list[dict], attach_parent: int = 0) -> int:
+        """Merge spans shipped back from a worker process.
+
+        Ids are remapped into this collector's id space; the worker's
+        top-level spans (parent 0) are re-parented under
+        ``attach_parent``.  The worker's pid moves into
+        ``args["worker_pid"]`` and becomes the ``tid`` so every worker
+        renders as its own track of the parent process.
+
+        Returns:
+            Number of spans ingested.
+        """
+        if not span_dicts:
+            return 0
+        base = self._next
+        max_id = 0
+        for data in span_dicts:
+            span = Span.from_dict(data)
+            max_id = max(max_id, span.id)
+            worker_pid = span.pid
+            span.args = dict(span.args)
+            span.args.setdefault("worker_pid", worker_pid)
+            span.tid = worker_pid
+            span.pid = self.pid
+            span.id = base + span.id
+            span.parent = base + span.parent if span.parent else attach_parent
+            self.spans.append(span)
+        self._next = base + max_id + 1
+        return len(span_dicts)
+
+    def export(self) -> list[dict]:
+        """Plain-dict form of every span (picklable / JSON-ready)."""
+        return [span.to_dict() for span in self.spans]

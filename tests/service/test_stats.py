@@ -29,6 +29,39 @@ def test_empty_stats():
     assert stats.worker_utilization == 0.0
 
 
+def test_empty_stats_summary_and_render_do_not_crash():
+    """Regression: zero requests must render, not divide by zero."""
+    stats = ServiceStats()
+    summary = stats.summary()
+    assert summary["requests"] == 0
+    assert summary["hit_rate"] == 0.0
+    assert summary["throughput_rps"] == 0.0
+    text = stats.render(per_request=True)
+    assert "Partition service stats" in text
+
+
+def test_zero_elapsed_batch_does_not_crash():
+    """Regression: a batch that takes ~0 wall seconds (all cache hits)."""
+    stats = ServiceStats(jobs=2)
+    stats.record(response(2, "memory", 0.0))
+    stats.record_batch_wall(0.0)
+    assert stats.throughput == 0.0
+    assert stats.worker_utilization == 0.0
+    summary = stats.summary()
+    assert summary["wall_s"] == 0.0
+    assert "memory" in stats.render(per_request=True)
+
+
+def test_engine_empty_batch():
+    """Regression: serving an empty request list is a no-op, not a crash."""
+    from repro.service import PartitionEngine
+
+    with PartitionEngine() as engine:
+        assert engine.run([]) == []
+    assert engine.stats.summary()["requests"] == 0
+    engine.stats.render()
+
+
 def test_counts_and_hit_rate():
     stats = ServiceStats(jobs=2)
     stats.record(response(2, "computed", 0.1))

@@ -1,0 +1,141 @@
+"""Metrics registry: counters, gauges, histograms, snapshots, exposition."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import MetricsRegistry
+from repro.telemetry.metrics import (
+    BUCKETS_BY_METRIC,
+    DEFAULT_BUCKETS,
+    Histogram,
+)
+
+
+class TestCounter:
+    def test_increments(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc()
+        reg.counter("hits").inc(3)
+        assert reg.counter("hits").value == 4
+
+    def test_labels_separate_series(self):
+        reg = MetricsRegistry()
+        reg.counter("req", method="rb").inc()
+        reg.counter("req", method="sfc").inc(2)
+        assert reg.counter("req", method="rb").value == 1
+        assert reg.counter("req", method="sfc").value == 2
+
+    def test_negative_rejected(self):
+        reg = MetricsRegistry()
+        with pytest.raises(ValueError):
+            reg.counter("hits").inc(-1)
+
+    def test_kind_clash_raises(self):
+        reg = MetricsRegistry()
+        reg.counter("x").inc()
+        with pytest.raises(TypeError):
+            reg.gauge("x")
+        with pytest.raises(TypeError):
+            reg.histogram("x")
+
+
+class TestGauge:
+    def test_last_write_wins(self):
+        reg = MetricsRegistry()
+        reg.gauge("depth").set(7)
+        reg.gauge("depth").set(0)
+        assert reg.gauge("depth").value == 0
+
+
+class TestHistogram:
+    def test_bucketing_is_inclusive_upper(self):
+        h = Histogram((1.0, 2.0, 4.0))
+        for v in (0.5, 1.0, 1.5, 4.0, 99.0):
+            h.observe(v)
+        # (<=1, <=2, <=4, +Inf)
+        assert h.counts == [2, 1, 1, 1]
+        assert h.total == 5
+        assert h.min == 0.5 and h.max == 99.0
+
+    def test_rejects_bad_boundaries(self):
+        with pytest.raises(ValueError):
+            Histogram(())
+        with pytest.raises(ValueError):
+            Histogram((1.0, 1.0))
+        with pytest.raises(ValueError):
+            Histogram((2.0, 1.0))
+
+    def test_default_buckets_valid(self):
+        for bounds in (DEFAULT_BUCKETS, *BUCKETS_BY_METRIC.values()):
+            Histogram(bounds)  # must not raise
+
+    def test_quality_metric_names_have_buckets(self):
+        for name in (
+            "request_lb_nelemd",
+            "request_lb_spcv",
+            "request_edgecut",
+            "request_tcv_points",
+        ):
+            assert name in BUCKETS_BY_METRIC
+
+    def test_mean_empty(self):
+        assert Histogram((1.0,)).mean == 0.0
+
+
+class TestSnapshotMerge:
+    def test_roundtrip(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", source="memory").inc(5)
+        reg.gauge("depth").set(3)
+        reg.histogram("lat").observe(0.002)
+        clone = MetricsRegistry.from_snapshot(reg.snapshot())
+        assert clone.snapshot() == reg.snapshot()
+
+    def test_merge_accumulates(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.counter("hits").inc(2)
+        a.histogram("lat").observe(0.01)
+        b.counter("hits").inc(3)
+        b.histogram("lat").observe(0.02)
+        a.merge(b.snapshot())
+        assert a.counter("hits").value == 5
+        assert a.histogram("lat").total == 2
+
+    def test_merge_boundary_mismatch_raises(self):
+        a, b = MetricsRegistry(), MetricsRegistry()
+        a.histogram("lat", buckets=(1.0, 2.0)).observe(1.5)
+        b.histogram("lat", buckets=(5.0, 9.0)).observe(6.0)
+        with pytest.raises(ValueError):
+            a.merge(b.snapshot())
+
+    def test_merge_tolerates_unknown_kind(self):
+        reg = MetricsRegistry()
+        reg.merge([{"name": "future", "kind": "summary", "value": 1}])
+        assert len(reg) == 0
+
+
+class TestRendering:
+    def test_prometheus_format(self):
+        reg = MetricsRegistry()
+        reg.counter("hits", source="memory").inc(2)
+        reg.histogram("lat", buckets=(1.0, 2.0)).observe(1.5)
+        text = reg.to_prometheus()
+        assert '# TYPE hits counter' in text
+        assert 'hits{source="memory"} 2' in text
+        assert 'lat_bucket{le="1"} 0' in text
+        assert 'lat_bucket{le="2"} 1' in text
+        assert 'lat_bucket{le="+Inf"} 1' in text
+        assert "lat_sum 1.5" in text
+        assert "lat_count 1" in text
+
+    def test_render_empty(self):
+        assert "no metrics" in MetricsRegistry().render()
+
+    def test_render_tables(self):
+        reg = MetricsRegistry()
+        reg.counter("hits").inc()
+        reg.histogram("request_lb_nelemd").observe(0.01)
+        text = reg.render()
+        assert "hits" in text
+        assert "request_lb_nelemd" in text

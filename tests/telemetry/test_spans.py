@@ -1,0 +1,153 @@
+"""Span collection, nesting, sessions, and the exporters."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.telemetry import (
+    chrome_trace,
+    load_metrics,
+    read_run_log,
+    span,
+    telemetry_session,
+    write_chrome_trace,
+    write_metrics_json,
+    write_run_log,
+)
+from repro.telemetry.runtime import inc, observe, telemetry_active
+from repro.telemetry.spans import Span, SpanCollector
+
+
+def test_span_noop_when_inactive():
+    assert not telemetry_active()
+    with span("anything", "cat", k=1):
+        pass  # must not record or raise
+    inc("nothing")
+    observe("nothing", 1.0)
+
+
+def test_spans_nest():
+    with telemetry_session() as session:
+        with span("outer", "t"):
+            with span("inner", "t"):
+                pass
+    spans = {s.name: s for s in session.tracer.spans}
+    assert spans["inner"].parent == spans["outer"].id
+    assert spans["outer"].parent == 0
+    # inner closes first
+    assert session.tracer.spans[0].name == "inner"
+
+
+def test_span_args_and_category():
+    with telemetry_session() as session:
+        with span("work", "metis", method="rb", nparts=8):
+            pass
+    (s,) = session.tracer.spans
+    assert s.cat == "metis"
+    assert s.args == {"method": "rb", "nparts": 8}
+    assert s.dur_us >= 0
+
+
+def test_sessions_do_not_leak():
+    with telemetry_session():
+        assert telemetry_active()
+    assert not telemetry_active()
+
+
+def test_nested_sessions_restore_outer():
+    with telemetry_session() as outer:
+        with telemetry_session() as inner:
+            with span("x"):
+                pass
+        assert len(inner.tracer.spans) == 1
+        assert len(outer.tracer.spans) == 0
+
+
+def test_span_from_dict_tolerates_unknown_fields():
+    s = Span.from_dict(
+        {"id": 1, "name": "x", "ts_us": 5, "dur_us": 2.0, "future_field": True}
+    )
+    assert s.id == 1 and s.parent == 0 and s.args == {}
+
+
+def test_ingest_remaps_and_reparents():
+    parent = SpanCollector(pid=100)
+    sid, _ = parent.begin()  # an open span to attach under
+    worker = SpanCollector(pid=200)
+    wid, wparent = worker.begin()
+    cid, cparent = worker.begin()
+    worker.end(cid, cparent, "child", "", 10, 1.0, {})
+    worker.end(wid, wparent, "top", "", 10, 2.0, {})
+    n = parent.ingest(worker.export(), attach_parent=parent.open_parent())
+    assert n == 2
+    by_name = {s.name: s for s in parent.spans}
+    assert by_name["top"].parent == sid  # re-parented under the open span
+    assert by_name["child"].parent == by_name["top"].id  # remapped, still nested
+    assert all(s.pid == 100 for s in parent.spans)
+    assert all(s.tid == 200 for s in parent.spans)
+    assert all(s.args["worker_pid"] == 200 for s in parent.spans)
+    # ids allocated after ingest don't collide
+    nid, _ = parent.begin()
+    assert nid > max(s.id for s in parent.spans)
+
+
+class TestExporters:
+    @pytest.fixture()
+    def session(self):
+        with telemetry_session(run_id="test1234", command="unit") as session:
+            with span("outer", "t"):
+                with span("inner", "t"):
+                    pass
+            inc("hits", 3)
+            observe("request_lb_nelemd", 0.01)
+        return session
+
+    def test_chrome_trace_shape(self, session):
+        trace = chrome_trace(session)
+        assert trace["schema"] == 1
+        assert trace["run_id"] == "test1234"
+        events = trace["traceEvents"]
+        complete = [e for e in events if e["ph"] == "X"]
+        assert {e["name"] for e in complete} == {"outer", "inner"}
+        for e in complete:
+            assert set(e) >= {"name", "cat", "ph", "ts", "dur", "pid", "tid"}
+        meta = [e for e in events if e["ph"] == "M"]
+        assert meta and meta[0]["name"] == "process_name"
+
+    def test_chrome_trace_file_is_valid_json(self, session, tmp_path):
+        path = write_chrome_trace(tmp_path / "trace.json", session)
+        data = json.loads(path.read_text())
+        assert isinstance(data["traceEvents"], list)
+
+    def test_metrics_json_roundtrip(self, session, tmp_path):
+        path = write_metrics_json(tmp_path / "metrics.json", session)
+        data = json.loads(path.read_text())
+        assert data["schema"] == 1
+        registry = load_metrics(path)
+        assert registry.counter("hits").value == 3
+
+    def test_run_log_roundtrip(self, session, tmp_path):
+        path = write_run_log(tmp_path / "run.jsonl", session)
+        log = read_run_log(path)
+        assert log["run"]["run_id"] == "test1234"
+        assert {s["name"] for s in log["spans"]} == {"outer", "inner"}
+        assert log["metrics"].counter("hits").value == 3
+        # every line is standalone JSON
+        for line in path.read_text().splitlines():
+            json.loads(line)
+
+    def test_run_log_tolerates_junk_and_unknown_kinds(self, session, tmp_path):
+        path = write_run_log(tmp_path / "run.jsonl", session)
+        with path.open("a") as fh:
+            fh.write("not json at all\n")
+            fh.write(json.dumps({"kind": "future_event", "x": 1}) + "\n")
+        log = read_run_log(path)
+        assert log["metrics"].counter("hits").value == 3
+
+    def test_load_metrics_rejects_other_json(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text('{"requests": []}')
+        with pytest.raises(ValueError):
+            load_metrics(path)

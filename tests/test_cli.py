@@ -385,3 +385,119 @@ class TestProfileFlags:
     def test_no_flags_no_table(self, capsys):
         assert main(["partition", "--ne", "2", "--nparts", "4"]) == 0
         assert "Stage profile" not in capsys.readouterr().out
+
+
+class TestTelemetryFlags:
+    def test_partition_trace_json(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(
+            ["partition", "--ne", "2", "--nparts", "4", "--trace-json", str(path)]
+        ) == 0
+        trace = json.loads(path.read_text())
+        assert trace["schema"] == 1
+        assert trace["meta"]["command"] == "partition"
+        names = {e["name"] for e in trace["traceEvents"] if e["ph"] == "X"}
+        assert {"engine_run", "cache", "compute"} <= names
+
+    def test_partition_metrics_table(self, capsys):
+        assert main(
+            ["partition", "--ne", "2", "--nparts", "4", "--metrics"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "LB(nelemd)" in out  # normal output still printed
+        assert "request_lb_nelemd" in out
+        assert "cache_misses" in out
+
+    def test_batch_trace_has_worker_spans(self, tmp_path):
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text(
+            json.dumps(
+                [
+                    {"ne": 2, "nparts": 4, "method": "sfc"},
+                    {"ne": 2, "nparts": 4, "method": "rb"},
+                    {"ne": 2, "nparts": 6, "method": "sfc"},
+                ]
+            )
+        )
+        path = tmp_path / "trace.json"
+        assert main(
+            ["batch", str(reqs), "--jobs", "2", "--trace-json", str(path)]
+        ) == 0
+        trace = json.loads(path.read_text())
+        events = [e for e in trace["traceEvents"] if e["ph"] == "X"]
+        pool = [e for e in events if e["name"] == "pool"]
+        assert len(pool) == 1
+        pool_id = pool[0]["args"]["span_id"]
+        worker = [e for e in events if "worker_pid" in e["args"]]
+        assert worker, "no worker-side spans in the trace"
+        computes = [e for e in worker if e["name"] == "compute"]
+        assert computes
+        assert all(e["args"]["parent_id"] == pool_id for e in computes)
+
+    def test_batch_metrics_json_and_run_log(self, tmp_path):
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text(json.dumps([{"ne": 2, "nparts": 4}]))
+        mpath = tmp_path / "metrics.json"
+        lpath = tmp_path / "run.jsonl"
+        assert main(
+            [
+                "batch", str(reqs),
+                "--metrics-json", str(mpath), "--run-log", str(lpath),
+            ]
+        ) == 0
+        snapshot = json.loads(mpath.read_text())
+        assert snapshot["schema"] == 1
+        names = {entry["name"] for entry in snapshot["metrics"]}
+        assert {
+            "request_lb_nelemd", "request_lb_spcv",
+            "request_edgecut", "request_tcv_points",
+        } <= names
+        kinds = {json.loads(line)["kind"] for line in lpath.read_text().splitlines()}
+        assert {"run", "span", "metric"} <= kinds
+
+    def test_profile_with_trace_json(self, tmp_path, capsys):
+        path = tmp_path / "trace.json"
+        assert main(
+            [
+                "profile", "--ne", "2", "--nparts", "6",
+                "--trace-json", str(path),
+            ]
+        ) == 0
+        assert "Stage profile" in capsys.readouterr().out
+        assert json.loads(path.read_text())["traceEvents"]
+
+
+class TestMetricsCommand:
+    def test_reads_metrics_snapshot(self, tmp_path, capsys):
+        mpath = tmp_path / "metrics.json"
+        assert main(
+            ["partition", "--ne", "2", "--nparts", "4",
+             "--metrics-json", str(mpath)]
+        ) == 0
+        capsys.readouterr()
+        assert main(["metrics", str(mpath)]) == 0
+        out = capsys.readouterr().out
+        assert "request_lb_nelemd" in out
+        assert "request_edgecut" in out
+
+    def test_prometheus_output(self, tmp_path, capsys):
+        mpath = tmp_path / "metrics.json"
+        main(["partition", "--ne", "2", "--nparts", "4",
+              "--metrics-json", str(mpath)])
+        capsys.readouterr()
+        assert main(["metrics", str(mpath), "--prometheus"]) == 0
+        out = capsys.readouterr().out
+        assert "# TYPE request_lb_nelemd histogram" in out
+        assert 'request_lb_nelemd_bucket{le="+Inf"} 1' in out
+
+    def test_serves_request_file(self, tmp_path, capsys):
+        reqs = tmp_path / "reqs.json"
+        reqs.write_text(json.dumps([{"ne": 2, "nparts": 4}]))
+        assert main(["metrics", str(reqs)]) == 0
+        out = capsys.readouterr().out
+        assert "served 1 requests" in out
+        assert "request_tcv_points" in out
+
+    def test_missing_source_errors(self, tmp_path):
+        with pytest.raises(SystemExit, match="not found"):
+            main(["metrics", str(tmp_path / "nope.json")])
