@@ -9,6 +9,11 @@ Serves the same K=1536 (Ne=16) sweep twice through the engine:
 
 The acceptance bar for the serving subsystem: the warm pass answers
 >= 95% of requests from cache and is >= 5x faster end-to-end.
+
+A second benchmark measures the staged pipeline's intra-batch reuse:
+a cold batch sweeping many methods at one ``ne`` must build the mesh
+and the element graph exactly once, with every other method hitting
+the per-process stage caches.
 """
 
 from __future__ import annotations
@@ -16,7 +21,8 @@ from __future__ import annotations
 import os
 from time import perf_counter
 
-from repro.experiments import format_table
+from repro.partition.pipeline import clear_stage_caches, stage_cache_stats
+from repro.report import format_table
 from repro.service import PartitionCache, PartitionEngine, PartitionRequest
 
 NE = 16  # K = 1536, the paper's largest Hilbert resolution
@@ -72,3 +78,40 @@ def test_service_cache_throughput(tmp_path, save_artifact):
     assert cold_s / warm_s >= 5.0
     cold_engine.close()
     warm_engine.close()
+
+
+def test_stage_cache_reuse_across_methods(save_artifact):
+    """One mesh + one graph serve every method of an equal-``ne`` batch.
+
+    Runs in-process (jobs=1) so the per-process stage caches are
+    observable; with pool workers each process keeps its own caches.
+    """
+    clear_stage_caches()
+    requests = [
+        PartitionRequest(ne=NE, nparts=nparts, method=method)
+        for method in METHODS
+        for nparts in (24, 96)
+    ]
+    start = perf_counter()
+    with PartitionEngine(jobs=1) as engine:
+        engine.run(requests)
+    wall_s = perf_counter() - start
+
+    stats = stage_cache_stats()
+    rows = [
+        [stage, s["hits"], s["misses"], s["entries"]]
+        for stage, s in stats.items()
+    ]
+    rows.append(["(batch)", len(requests), "", f"{wall_s:.3f}s"])
+    text = format_table(
+        ["stage", "hits", "misses", "entries"],
+        rows,
+        title=f"Stage-cache reuse, {len(requests)} requests at ne={NE}",
+    )
+    save_artifact("stage_cache_reuse", text)
+
+    # Mesh and graph computed once; every other lookup (one per request
+    # for evaluation, plus one per graph-consuming builder) is a hit.
+    assert stats["mesh"]["misses"] == 1
+    assert stats["graph"]["misses"] == 1
+    assert stats["graph"]["hits"] >= len(requests) - 1

@@ -11,6 +11,11 @@ Subcommands mirror the library's main workflows:
   (coarsen/initial/refine/uncoarsen, cache, pool) as a table or JSON;
 * ``metrics``   — report LB/edgecut/TCV histograms and counters from a
   saved metrics export, or serve a request file and report live;
+* ``methods``   — list the registered partitioners (names, families,
+  capability flags) straight from the partitioner registry;
+* ``cache``     — inspect the partition cache: the pipeline's stage
+  versions and, given ``--cache-dir``, entry freshness (stale entries
+  are recomputed, never served);
 * ``sweep``     — the paper's Figure 7-10 sweeps as a series table;
 * ``table2``    — the paper's Table 2 for any (Ne, Nproc).
 
@@ -132,7 +137,15 @@ def _make_engine(args: argparse.Namespace):
 
 
 def build_parser() -> argparse.ArgumentParser:
-    """Construct the argument parser (exposed for testing)."""
+    """Construct the argument parser (exposed for testing).
+
+    ``--method`` choices come from the partitioner registry, so a
+    method registered by a plugin (or removed) is reflected here and
+    in ``repro methods`` without touching the CLI.
+    """
+    from .partition.registry import available
+
+    methods = list(available())
     parser = argparse.ArgumentParser(
         prog="repro",
         description=(
@@ -161,7 +174,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_part.add_argument(
         "--method",
         default="sfc",
-        choices=["sfc", "rb", "kway", "tv", "rcb", "block", "random"],
+        choices=methods,
     )
     p_part.add_argument("--seed", type=int, default=0)
     p_part.add_argument("--csv", action="store_true", help="CSV metric output")
@@ -206,7 +219,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_prof.add_argument(
         "--method",
         default="rb",
-        choices=["sfc", "rb", "kway", "tv", "rcb", "block", "random"],
+        choices=methods,
     )
     p_prof.add_argument("--seed", type=int, default=0)
     p_prof.add_argument(
@@ -239,6 +252,31 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_service_flags(p_metrics)
 
+    p_methods = sub.add_parser(
+        "methods", help="list the registered partitioners and their capabilities"
+    )
+    p_methods.add_argument("--csv", action="store_true", help="CSV output")
+
+    p_cache = sub.add_parser(
+        "cache",
+        help="inspect the partition cache (versions, entry freshness)",
+        description=(
+            "Cached responses are stamped with the pipeline's composite "
+            "stage version; entries written under a different version "
+            "(including pre-versioning entries) are treated as stale and "
+            "recomputed on the next request, never served."
+        ),
+    )
+    p_cache.add_argument(
+        "action", choices=["info"], help="info: print versions and cache stats"
+    )
+    p_cache.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="persistent cache directory to scan (optional)",
+    )
+
     p_sweep = sub.add_parser("sweep", help="speedup/Gflops sweep (Figs. 7-10)")
     p_sweep.add_argument("--ne", type=int, required=True)
     p_sweep.add_argument(
@@ -261,7 +299,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_trace.add_argument(
         "--method",
         default="sfc",
-        choices=["sfc", "rb", "kway", "tv", "rcb", "block", "random"],
+        choices=methods,
     )
     p_trace.add_argument("--width", type=int, default=60)
     p_trace.add_argument("--max-ranks", type=int, default=24)
@@ -274,7 +312,7 @@ def build_parser() -> argparse.ArgumentParser:
     p_report.add_argument(
         "--method",
         default="sfc",
-        choices=["sfc", "rb", "kway", "tv", "rcb", "block", "random"],
+        choices=methods,
     )
     return parser
 
@@ -582,6 +620,61 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_methods(args: argparse.Namespace) -> int:
+    """List every registered partitioner and its capability flags."""
+    from .partition.registry import specs
+
+    columns = [
+        "method", "family", "weighted", "seeded", "schedule", "ne constraint",
+        "description",
+    ]
+    rows = [
+        [
+            s.name,
+            s.family,
+            "yes" if s.weighted else "no",
+            "yes" if s.uses_seed else "no",
+            "yes" if s.supports_schedule else "no",
+            s.ne_constraint or "any",
+            s.description,
+        ]
+        for s in specs()
+    ]
+    if args.csv:
+        print(",".join(c.replace(" ", "_") for c in columns))
+        for row in rows:
+            print(",".join(str(v) for v in row))
+    else:
+        from .report import format_table
+
+        print(format_table(columns, rows, title="Registered partitioners"))
+    return 0
+
+
+def _cmd_cache(args: argparse.Namespace) -> int:
+    """``repro cache info``: pipeline versions + optional dir scan."""
+    from .partition.pipeline import STAGE_VERSIONS, cache_version
+    from .service.cache import scan_cache_dir
+
+    print(f"cache version: {cache_version()}")
+    stages = " ".join(f"{s}={v}" for s, v in STAGE_VERSIONS.items())
+    print(f"stage versions: {stages}")
+    if args.cache_dir is not None:
+        info = scan_cache_dir(args.cache_dir)
+        print(f"cache dir: {args.cache_dir}")
+        print(
+            f"entries: {info['entries']} "
+            f"(current {info['current']}, stale {info['stale']}, "
+            f"unreadable {info['unreadable']}), {info['bytes']} bytes"
+        )
+        if info["stale"]:
+            print(
+                "note: stale entries were written under a different "
+                "stage version and will be recomputed on next request"
+            )
+    return 0
+
+
 def _cmd_sweep(args: argparse.Namespace) -> int:
     from .experiments import format_series, speedup_sweep
 
@@ -624,12 +717,12 @@ def _cmd_table2(args: argparse.Namespace) -> int:
 
 def _cmd_trace(args: argparse.Namespace) -> int:
     from .cubesphere import cubed_sphere_mesh
-    from .experiments import make_partition
     from .graphs import mesh_graph
     from .machine import PerformanceModel, trace_step
+    from .partition.pipeline import partition_stage
 
     graph = mesh_graph(cubed_sphere_mesh(args.ne))
-    part = make_partition(args.ne, args.nparts, args.method)
+    part = partition_stage(args.method, args.ne, args.nparts)
     trace = trace_step(PerformanceModel(), graph, part)
     print(
         f"K={graph.nvertices} method={args.method} nparts={args.nparts} "
@@ -641,12 +734,13 @@ def _cmd_trace(args: argparse.Namespace) -> int:
 
 def _cmd_report(args: argparse.Namespace) -> int:
     from .cubesphere import cubed_sphere_mesh
-    from .experiments import format_table, make_partition
+    from .experiments import format_table
     from .graphs import mesh_graph
     from .partition.analysis import analyze_structure
+    from .partition.pipeline import partition_stage
 
     graph = mesh_graph(cubed_sphere_mesh(args.ne))
-    part = make_partition(args.ne, args.nparts, args.method)
+    part = partition_stage(args.method, args.ne, args.nparts)
     structure = analyze_structure(graph, part)
     print(
         f"K={graph.nvertices} method={args.method} nparts={args.nparts}: "
@@ -679,6 +773,8 @@ def main(argv: list[str] | None = None) -> int:
         "batch": _cmd_batch,
         "profile": _cmd_profile,
         "metrics": _cmd_metrics,
+        "methods": _cmd_methods,
+        "cache": _cmd_cache,
         "sweep": _cmd_sweep,
         "table2": _cmd_table2,
         "trace": _cmd_trace,

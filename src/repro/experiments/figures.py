@@ -10,21 +10,16 @@ model.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
-from functools import lru_cache
 
-import numpy as np
-
-from ..cubesphere.mesh import cubed_sphere_mesh
-from ..graphs.csr import CSRGraph, mesh_graph
+from ..graphs.csr import CSRGraph
 from ..machine.perf import PerformanceModel, StepTiming
 from ..machine.spec import MachineSpec, P690_CLUSTER
-from ..metis.api import part_graph
+from ..partition import registry
 from ..partition.base import Partition
-from ..partition.block import block_partition, random_partition
-from ..partition.geometric import rcb_partition
-from ..partition.metrics import PartitionQuality, evaluate_partition
-from ..partition.sfc import sfc_partition
+from ..partition.metrics import PartitionQuality
+from ..partition.pipeline import evaluate_stage, graph_stage, partition_stage
 from ..seam.cost import DEFAULT_COST_MODEL, SEAMCostModel
 from .resolutions import admissible_nprocs
 
@@ -38,14 +33,19 @@ __all__ = [
     "METIS_BASELINES",
 ]
 
-METIS_BASELINES = ("rb", "kway", "tv")
-ALL_METHODS = ("sfc", *METIS_BASELINES, "rcb", "block", "random")
+#: Deprecated aliases: the partitioner registry is the source of truth
+#: for the method set.  Snapshotted at import for backwards
+#: compatibility; new code should call ``registry.available()`` /
+#: filter ``registry.specs()`` by family.
+METIS_BASELINES = tuple(
+    s.name for s in registry.specs() if s.family == "metis"
+)
+ALL_METHODS = registry.available()
 
 
-@lru_cache(maxsize=16)
 def _graph_for(ne: int, npts: int) -> CSRGraph:
-    mesh = cubed_sphere_mesh(ne)
-    return mesh_graph(mesh, edge_weight=npts, corner_weight=1)
+    """Deprecated alias for :func:`repro.partition.pipeline.graph_stage`."""
+    return graph_stage(ne, npts)
 
 
 @dataclass(frozen=True)
@@ -78,19 +78,22 @@ class MethodResult:
 def make_partition(
     ne: int, nproc: int, method: str, seed: int = 0, schedule: str | None = None
 ) -> Partition:
-    """Partition the cubed-sphere at ``ne`` with the named method."""
-    graph = _graph_for(ne, DEFAULT_COST_MODEL.npts)
-    if method == "sfc":
-        return sfc_partition(ne, nproc, schedule=schedule)
-    if method in METIS_BASELINES:
-        return part_graph(graph, nproc, method, seed=seed)
-    if method == "rcb":
-        return rcb_partition(cubed_sphere_mesh(ne).centers_xyz, nproc)
-    if method == "block":
-        return block_partition(graph.nvertices, nproc)
-    if method == "random":
-        return random_partition(graph.nvertices, nproc, seed=seed)
-    raise ValueError(f"unknown method {method!r}; choose from {ALL_METHODS}")
+    """Partition the cubed-sphere at ``ne`` with the named method.
+
+    .. deprecated::
+        Thin alias for
+        :func:`repro.partition.pipeline.partition_stage`, kept for
+        backwards compatibility; methods now resolve through
+        :mod:`repro.partition.registry`.
+    """
+    warnings.warn(
+        "experiments.make_partition is deprecated; use "
+        "repro.partition.partition_stage (methods resolve through the "
+        "partitioner registry)",
+        DeprecationWarning,
+        stacklevel=2,
+    )
+    return partition_stage(method, ne, nproc, seed=seed, schedule=schedule)
 
 
 def run_method(
@@ -109,10 +112,12 @@ def run_method(
         partition: Optional precomputed partition (e.g. from the
             service engine); skips the partitioning step.
     """
-    graph = _graph_for(ne, cost.npts)
+    graph = graph_stage(ne, cost.npts)
     if partition is None:
-        partition = make_partition(ne, nproc, method, seed=seed, schedule=schedule)
-    quality = evaluate_partition(graph, partition)
+        partition = partition_stage(
+            method, ne, nproc, seed=seed, schedule=schedule
+        )
+    quality = evaluate_stage(graph, partition)
     model = PerformanceModel(machine, cost)
     timing = model.step_timing(graph, partition)
     speedup = model.serial_step_time(graph.nvertices) / timing.step_s
@@ -149,6 +154,9 @@ def speedup_sweep(
     Returns:
         ``{method: [MethodResult per nproc]}``.
     """
+    # Fail fast (did-you-mean, capability checks) before sweeping.
+    for method in methods:
+        registry.get(method).validate(ne=ne, nparts=1)
     k = 6 * ne * ne
     if nprocs is None:
         nprocs = admissible_nprocs(k, machine.max_procs)

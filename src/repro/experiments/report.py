@@ -1,58 +1,13 @@
-"""Plain-text table and series rendering for experiment output.
+"""Deprecated shim: the table renderer moved to :mod:`repro.report`.
 
-Every bench prints its reproduction as an aligned text table (the
-repository's equivalent of the paper's tables and figure series), so
-``pytest benchmarks/`` output and the ``results/`` artifacts are
-directly comparable with the paper.
+It is a neutral formatting utility used by layers below the
+experiments package (service stats, telemetry rendering), so it lives
+at the top level now; this module re-exports it for backwards
+compatibility.
 """
 
 from __future__ import annotations
 
-from collections.abc import Sequence
+from ..report import format_series, format_table
 
 __all__ = ["format_table", "format_series"]
-
-
-def _fmt(value) -> str:
-    if isinstance(value, float):
-        if value == 0:
-            return "0"
-        if abs(value) >= 1000 or abs(value) < 1e-3:
-            return f"{value:.3g}"
-        return f"{value:.3f}".rstrip("0").rstrip(".")
-    return str(value)
-
-
-def format_table(
-    headers: Sequence[str],
-    rows: Sequence[Sequence[object]],
-    title: str | None = None,
-) -> str:
-    """Render rows as an aligned monospace table."""
-    cells = [[_fmt(v) for v in row] for row in rows]
-    widths = [
-        max(len(headers[c]), *(len(r[c]) for r in cells)) if cells else len(headers[c])
-        for c in range(len(headers))
-    ]
-    lines = []
-    if title:
-        lines.append(title)
-    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
-    lines.append("  ".join("-" * w for w in widths))
-    for row in cells:
-        lines.append("  ".join(v.ljust(w) for v, w in zip(row, widths)))
-    return "\n".join(lines)
-
-
-def format_series(
-    x_label: str,
-    xs: Sequence[object],
-    series: dict[str, Sequence[object]],
-    title: str | None = None,
-) -> str:
-    """Render one x column plus one column per named series."""
-    headers = [x_label, *series.keys()]
-    rows = [
-        [x, *(vals[i] for vals in series.values())] for i, x in enumerate(xs)
-    ]
-    return format_table(headers, rows, title=title)

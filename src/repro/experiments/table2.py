@@ -11,6 +11,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..machine.spec import MachineSpec, P690_CLUSTER
+from ..partition import registry
 from ..seam.cost import DEFAULT_COST_MODEL, SEAMCostModel
 from .figures import run_method
 from .report import format_table
@@ -41,7 +42,13 @@ def table2(
     seed: int = 0,
     methods: tuple[str, ...] = TABLE2_METHODS,
 ) -> list[Table2Row]:
-    """Compute Table 2 (defaults: the paper's K=1536 on 768 procs)."""
+    """Compute Table 2 (defaults: the paper's K=1536 on 768 procs).
+
+    Methods resolve through the partitioner registry, so unknown names
+    fail up front (with a did-you-mean) rather than mid-sweep.
+    """
+    for method in methods:
+        registry.get(method).validate(ne=ne, nparts=nproc)
     rows = []
     for method in methods:
         r = run_method(ne, nproc, method, machine=machine, cost=cost, seed=seed)

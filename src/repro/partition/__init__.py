@@ -1,9 +1,28 @@
-"""Partitioning algorithms and partition-quality metrics."""
+"""Partitioning algorithms, registry, staged pipeline, and metrics."""
 
 from .analysis import PartitionStructure, PartShape, analyze_structure
 from .base import Partition
 from .block import block_partition, random_partition, strided_partition
 from .geometric import rcb_partition
+from .pipeline import (
+    STAGE_VERSIONS,
+    PipelineResult,
+    cache_version,
+    evaluate_stage,
+    graph_stage,
+    mesh_stage,
+    partition_stage,
+    run_pipeline,
+    stage_cache_stats,
+)
+from .registry import (
+    CapabilityError,
+    DuplicatePartitionerError,
+    PartitionProblem,
+    Partitioner,
+    UnknownPartitionerError,
+)
+from . import registry
 from .repartition import (
     LoadTracker,
     MigrationCost,
@@ -27,15 +46,30 @@ from .sfc import (
 )
 
 __all__ = [
+    "CapabilityError",
     "CommunicationPattern",
+    "DuplicatePartitionerError",
     "PartShape",
+    "Partitioner",
+    "PartitionProblem",
     "PartitionStructure",
+    "PipelineResult",
+    "STAGE_VERSIONS",
+    "UnknownPartitionerError",
     "analyze_structure",
     "LoadTracker",
     "MigrationCost",
     "Partition",
     "PartitionQuality",
     "block_partition",
+    "cache_version",
+    "evaluate_stage",
+    "graph_stage",
+    "mesh_stage",
+    "partition_stage",
+    "registry",
+    "run_pipeline",
+    "stage_cache_stats",
     "communication_pattern",
     "cut_positions_uniform",
     "cut_positions_weighted",

@@ -77,16 +77,20 @@ class Partition:
 
         Useful after algorithms that may leave gaps in part ids.
         """
-        _, inverse = np.unique(self.assignment, return_inverse=True)
-        first_pos = {}
-        order = []
-        for v, p in enumerate(self.assignment):
-            if int(p) not in first_pos:
-                first_pos[int(p)] = len(order)
-                order.append(int(p))
-        remap = {p: i for i, p in enumerate(order)}
-        new = np.array([remap[int(p)] for p in self.assignment], dtype=np.int64)
-        return Partition(new, nparts=len(order), method=self.method)
+        if len(self.assignment) == 0:
+            return Partition(self.assignment, nparts=self.nparts, method=self.method)
+        uniq, first_index, inverse = np.unique(
+            self.assignment, return_index=True, return_inverse=True
+        )
+        # uniq is sorted; rank each unique label by its first occurrence
+        # so label k maps to "k-th label to appear", as the old
+        # per-vertex loop did.
+        remap = np.empty(len(uniq), dtype=np.int64)
+        remap[np.argsort(first_index, kind="stable")] = np.arange(
+            len(uniq), dtype=np.int64
+        )
+        new = remap[inverse]
+        return Partition(new, nparts=len(uniq), method=self.method)
 
     def with_method(self, method: str) -> "Partition":
         return Partition(self.assignment, self.nparts, method)

@@ -13,6 +13,13 @@ canonical JSON (:meth:`PartitionRequest.cache_key`).  Two tiers:
 Disk writes are atomic (temp file + ``os.replace``) so concurrent
 engines sharing a cache directory can only ever observe complete
 entries.  Disk hits are promoted into the memory tier.
+
+Every disk entry is stamped with the partition pipeline's composite
+stage-version tag (:func:`repro.partition.pipeline.cache_version`).
+An entry whose tag differs from the running code's — including
+pre-refactor entries written before the tag existed — is treated as a
+miss and recomputed (and overwritten), so a stage-implementation bump
+can never silently serve stale assignments.
 """
 
 from __future__ import annotations
@@ -24,9 +31,43 @@ from pathlib import Path
 
 import numpy as np
 
+from ..partition.pipeline import cache_version
 from .requests import PartitionRequest, PartitionResponse
 
-__all__ = ["PartitionCache"]
+__all__ = ["PartitionCache", "scan_cache_dir"]
+
+
+def scan_cache_dir(cache_dir: Path | str) -> dict[str, int | str]:
+    """Summarize a persistent cache directory (for ``repro cache info``).
+
+    Returns entry counts split by freshness against the running
+    composite stage version: ``current`` entries would be served,
+    ``stale`` (version mismatch or pre-version entries) and
+    ``unreadable`` ones would be recomputed on the next request.
+    """
+    cache_dir = Path(cache_dir)
+    current = stale = unreadable = total_bytes = 0
+    version = cache_version()
+    for path in sorted(cache_dir.glob("*.npz")) if cache_dir.is_dir() else []:
+        total_bytes += path.stat().st_size
+        try:
+            with np.load(path) as data:
+                meta = json.loads(bytes(data["meta"]).decode())
+        except (OSError, KeyError, ValueError, json.JSONDecodeError):
+            unreadable += 1
+            continue
+        if meta.get("cache_version") == version:
+            current += 1
+        else:
+            stale += 1
+    return {
+        "cache_version": version,
+        "entries": current + stale + unreadable,
+        "current": current,
+        "stale": stale,
+        "unreadable": unreadable,
+        "bytes": total_bytes,
+    }
 
 
 class PartitionCache:
@@ -50,6 +91,7 @@ class PartitionCache:
         self.disk_hits = 0
         self.misses = 0
         self.stores = 0
+        self.stale = 0  # disk entries rejected for a cache-version mismatch
 
     # -- lookup ---------------------------------------------------------
 
@@ -110,6 +152,7 @@ class PartitionCache:
             "memory_hits": self.memory_hits,
             "disk_hits": self.disk_hits,
             "misses": self.misses,
+            "stale": self.stale,
             "stores": self.stores,
             "hit_rate": self.hit_rate,
             "memory_entries": len(self._memory),
@@ -133,6 +176,7 @@ class PartitionCache:
         path = self._path(key)
         tmp = path.with_name(f".{path.name}.tmp-{os.getpid()}")
         meta = {
+            "cache_version": cache_version(),
             "request": response.request.canonical(),
             "metrics": response.metrics,
             "elapsed_s": response.elapsed_s,
@@ -164,6 +208,11 @@ class PartitionCache:
                 meta = json.loads(bytes(data["meta"]).decode())
         except (OSError, KeyError, ValueError, json.JSONDecodeError):
             return None  # truncated/foreign file: treat as a miss
+        # A pre-refactor entry (no tag) or one written by a different
+        # stage-version combination must be recomputed, not served.
+        if meta.get("cache_version") != cache_version():
+            self.stale += 1
+            return None
         # Paranoia against hash collisions and stale schemas: the stored
         # request must match the one asked for.
         if meta.get("request") != request.canonical():

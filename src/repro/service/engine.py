@@ -27,6 +27,8 @@ from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
 from time import perf_counter
 
+from ..partition import registry
+from ..partition.pipeline import run_pipeline
 from ..telemetry import (
     inc,
     observe,
@@ -48,13 +50,13 @@ def compute_response(request: PartitionRequest) -> PartitionResponse:
 
     Module-level (picklable) on purpose.  Deterministic for a given
     request, so parallel and serial execution agree bit-for-bit.
-    """
-    # Lazy import: keeps ``repro.service`` importable without dragging
-    # the sweep stack in, and breaks the experiments <-> service cycle.
-    from ..experiments.figures import _graph_for, make_partition
-    from ..partition.metrics import evaluate_partition
-    from ..seam.cost import DEFAULT_COST_MODEL
 
+    Runs the staged pipeline (mesh → graph → partition → evaluate,
+    :func:`repro.partition.pipeline.run_pipeline`): each stage is
+    traced individually, and the mesh/graph stages are memoized per
+    process, so a batch sweeping several methods at the same ``ne``
+    builds the mesh and graph once.
+    """
     start = perf_counter()
     with span(
         "compute",
@@ -64,21 +66,17 @@ def compute_response(request: PartitionRequest) -> PartitionResponse:
         ne=request.ne,
         nparts=request.nparts,
     ):
-        with span("make_partition", "service", method=request.method):
-            partition = make_partition(
-                request.ne,
-                request.nparts,
-                request.method,
-                seed=request.seed,
-                schedule=request.schedule,
-            )
-        graph = _graph_for(request.ne, DEFAULT_COST_MODEL.npts)
-        with span("evaluate_partition", "service"):
-            quality = evaluate_partition(graph, partition)
+        result = run_pipeline(
+            request.method,
+            request.ne,
+            request.nparts,
+            seed=request.seed,
+            schedule=request.schedule,
+        )
     return PartitionResponse(
         request=request,
-        assignment=partition.assignment,
-        metrics=quality_metrics(quality),
+        assignment=result.partition.assignment,
+        metrics=quality_metrics(result.quality),
         elapsed_s=perf_counter() - start,
         source="computed",
     )
@@ -101,15 +99,23 @@ def _pool_compute(item: tuple[PartitionRequest, bool]):
 
 
 def _record_response_metrics(response: PartitionResponse) -> None:
-    """Per-request quality metrics and source counters (no-op when idle)."""
-    inc("service_requests_total", source=response.source)
+    """Per-request quality metrics and source counters (no-op when idle).
+
+    The ``partitioner`` label is the registry name (the single source
+    of truth for method identity), not the free-form ``method`` string
+    a ``Partition`` happens to carry.
+    """
+    partitioner = registry.get(response.request.method).name
+    inc("service_requests_total", source=response.source, partitioner=partitioner)
     m = response.metrics
-    observe("request_lb_nelemd", m["lb_nelemd"])
-    observe("request_lb_spcv", m["lb_spcv"])
-    observe("request_edgecut", m["edgecut"])
-    observe("request_tcv_points", m["total_volume_points"])
+    observe("request_lb_nelemd", m["lb_nelemd"], partitioner=partitioner)
+    observe("request_lb_spcv", m["lb_spcv"], partitioner=partitioner)
+    observe("request_edgecut", m["edgecut"], partitioner=partitioner)
+    observe("request_tcv_points", m["total_volume_points"], partitioner=partitioner)
     if response.source == "computed":
-        observe("request_compute_seconds", response.elapsed_s)
+        observe(
+            "request_compute_seconds", response.elapsed_s, partitioner=partitioner
+        )
 
 
 class PartitionEngine:

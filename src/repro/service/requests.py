@@ -57,9 +57,17 @@ class PartitionRequest:
     Attributes:
         ne: Elements per cube-face edge (``K = 6 ne^2``).
         nparts: Processor count, ``1 <= nparts <= K``.
-        method: Partitioner name (see ``experiments.ALL_METHODS``).
+        method: Partitioner name (see
+            :func:`repro.partition.registry.available`).
         seed: Seed for randomized partitioners.
-        schedule: Optional face-local refinement schedule (SFC only).
+        schedule: Optional face-local refinement schedule (methods
+            with schedule support only).
+
+    The method name and the request's capability profile (``ne``
+    admissibility, schedule support) are validated against the
+    partitioner registry at construction time, so violations fail
+    here — with the registry's did-you-mean / capability messages —
+    rather than mid-compute.
     """
 
     ne: int
@@ -69,9 +77,7 @@ class PartitionRequest:
     schedule: str | None = None
 
     def __post_init__(self) -> None:
-        # Lazy import: experiments pulls in the whole sweep stack and
-        # itself reaches back into the service layer.
-        from ..experiments.figures import ALL_METHODS
+        from ..partition import registry
 
         for name in ("ne", "nparts", "seed"):
             value = getattr(self, name)
@@ -84,12 +90,13 @@ class PartitionRequest:
             raise ValueError(
                 f"nparts must be in [1, K={self.k}], got {self.nparts}"
             )
-        if self.method not in ALL_METHODS:
-            raise ValueError(
-                f"unknown method {self.method!r}; choose from {ALL_METHODS}"
-            )
         if self.schedule is not None and not isinstance(self.schedule, str):
             raise ValueError("schedule must be a string or None")
+        # Raises UnknownPartitionerError (with a did-you-mean) for a
+        # bad name, CapabilityError for a contract violation.
+        registry.get(self.method).validate(
+            ne=self.ne, nparts=self.nparts, schedule=self.schedule
+        )
 
     @property
     def k(self) -> int:

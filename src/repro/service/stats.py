@@ -4,7 +4,7 @@ The engine records one :class:`RequestRecord` per served request and
 one wall-clock sample per batch.  :class:`ServiceStats` aggregates
 them into the numbers an operator cares about — hit rate, throughput,
 worker utilization — and renders both a per-source summary and a
-per-request breakdown via :func:`~repro.experiments.report.format_table`
+per-request breakdown via :func:`~repro.report.format_table`
 so service telemetry looks like every other table in the repo.
 """
 
@@ -128,7 +128,7 @@ class ServiceStats:
 
     def render(self, per_request: bool = False) -> str:
         """Render the telemetry as aligned text tables."""
-        from ..experiments.report import format_table
+        from ..report import format_table
 
         summary = self.summary()
         blocks = [

@@ -260,7 +260,7 @@ class MetricsRegistry:
 
     def render(self) -> str:
         """Human-readable text tables (the repo's standard format)."""
-        from ..experiments.report import format_table
+        from ..report import format_table
 
         blocks: list[str] = []
         scalar_rows = [

@@ -14,9 +14,12 @@ from repro.experiments.figures import (
 
 
 class TestMakePartition:
+    """The deprecated alias still dispatches through the registry."""
+
     @pytest.mark.parametrize("method", ALL_METHODS)
     def test_all_methods(self, method):
-        p = make_partition(4, 8, method)
+        with pytest.deprecated_call():
+            p = make_partition(4, 8, method)
         assert p.nparts == 8
         assert p.nvertices == 96
 
@@ -27,8 +30,9 @@ class TestMakePartition:
     def test_sfc_schedule_passthrough(self):
         import numpy as np
 
-        a = make_partition(6, 12, "sfc", schedule="PH")
-        b = make_partition(6, 12, "sfc", schedule="HP")
+        with pytest.deprecated_call():
+            a = make_partition(6, 12, "sfc", schedule="PH")
+            b = make_partition(6, 12, "sfc", schedule="HP")
         assert not np.array_equal(a.assignment, b.assignment)
 
 

@@ -2,10 +2,13 @@
 
 from __future__ import annotations
 
+import json
+
 import numpy as np
 import pytest
 
 from repro.service import PartitionCache, PartitionRequest, compute_response
+from repro.service.cache import scan_cache_dir
 
 
 @pytest.fixture()
@@ -31,6 +34,7 @@ class TestMemoryTier:
             "memory_hits": 1,
             "disk_hits": 0,
             "misses": 1,
+            "stale": 0,
             "stores": 1,
             "hit_rate": 0.5,
             "memory_entries": 1,
@@ -114,3 +118,102 @@ class TestDiskTier:
         assert not target.exists()
         cache.put(req, resp)
         assert target.is_dir()
+
+
+def _rewrite_meta(path, mutate):
+    """Rewrite one NPZ entry's metadata through ``mutate(meta) -> meta``."""
+    with np.load(path) as data:
+        assignment = data["assignment"]
+        meta = json.loads(bytes(data["meta"]).decode())
+    meta = mutate(meta)
+    with open(path, "wb") as fh:
+        np.savez_compressed(
+            fh,
+            assignment=assignment,
+            meta=np.frombuffer(
+                json.dumps(meta, sort_keys=True).encode(), dtype=np.uint8
+            ),
+        )
+
+
+class TestStageVersioning:
+    """Entries from a different pipeline version are recomputed."""
+
+    def _age_entry(self, cache, req, mutate):
+        _rewrite_meta(cache._path(req.cache_key()), mutate)
+        cache.clear_memory()
+
+    def test_pre_refactor_entry_is_stale(self, tmp_path, req, resp):
+        """An entry written before the tag existed is never served."""
+        cache = PartitionCache(cache_dir=tmp_path)
+        cache.put(req, resp)
+
+        def strip_version(meta):
+            del meta["cache_version"]
+            return meta
+
+        self._age_entry(cache, req, strip_version)
+        assert cache.get(req) is None
+        assert cache.stats()["stale"] == 1
+
+    def test_version_mismatch_is_stale(self, tmp_path, req, resp):
+        cache = PartitionCache(cache_dir=tmp_path)
+        cache.put(req, resp)
+        self._age_entry(
+            cache, req, lambda m: {**m, "cache_version": "mesh0.graph0"}
+        )
+        assert cache.get(req) is None
+        assert cache.stats()["stale"] == 1
+
+    def test_stale_entry_recomputed_and_overwritten(self, tmp_path, req):
+        """The engine path: stale → recompute → store → fresh hit."""
+        from repro.service import PartitionEngine
+
+        with PartitionEngine(cache=PartitionCache(cache_dir=tmp_path)) as engine:
+            first = engine.serve(req)
+            assert first.source == "computed"
+        _rewrite_meta(
+            PartitionCache(cache_dir=tmp_path)._path(req.cache_key()),
+            lambda m: {**m, "cache_version": "old"},
+        )
+        with PartitionEngine(cache=PartitionCache(cache_dir=tmp_path)) as engine:
+            second = engine.serve(req)
+            assert second.source == "computed"  # not served stale
+            assert engine.cache.stats()["stale"] == 1
+        # The recompute overwrote the entry with the current tag ...
+        with PartitionEngine(cache=PartitionCache(cache_dir=tmp_path)) as engine:
+            third = engine.serve(req)
+            assert third.source == "disk"  # ... so now it serves
+        np.testing.assert_array_equal(first.assignment, third.assignment)
+
+    def test_current_entry_still_served(self, tmp_path, req, resp):
+        cache = PartitionCache(cache_dir=tmp_path)
+        cache.put(req, resp)
+        cache.clear_memory()
+        hit = cache.get(req)
+        assert hit is not None and hit.source == "disk"
+        assert cache.stats()["stale"] == 0
+
+
+class TestScanCacheDir:
+    def test_missing_dir(self, tmp_path):
+        info = scan_cache_dir(tmp_path / "nope")
+        assert info["entries"] == 0
+        assert "mesh" in info["cache_version"]
+
+    def test_counts_by_freshness(self, tmp_path, req, resp):
+        cache = PartitionCache(cache_dir=tmp_path)
+        cache.put(req, resp)
+        other = PartitionRequest(ne=2, nparts=6)
+        cache.put(other, compute_response(other))
+        _rewrite_meta(
+            cache._path(other.cache_key()),
+            lambda m: {**m, "cache_version": "old"},
+        )
+        (tmp_path / "junk.npz").write_bytes(b"not an npz")
+        info = scan_cache_dir(tmp_path)
+        assert info["entries"] == 3
+        assert info["current"] == 1
+        assert info["stale"] == 1
+        assert info["unreadable"] == 1
+        assert info["bytes"] > 0

@@ -10,7 +10,7 @@ from __future__ import annotations
 import numpy as np
 import pytest
 
-from repro.experiments import make_partition
+from repro.partition.pipeline import partition_stage
 from repro.service import PartitionCache, PartitionEngine, PartitionRequest
 
 
@@ -73,7 +73,7 @@ class TestAcceptance:
         engine = PartitionEngine(jobs=2)
         responses = engine.run(reqs)
         for req, resp in zip(reqs, responses):
-            serial = make_partition(req.ne, req.nparts, req.method, seed=req.seed)
+            serial = partition_stage(req.method, req.ne, req.nparts, seed=req.seed)
             assert np.array_equal(resp.assignment, serial.assignment), req
 
     def test_warm_disk_cache_hit_rate(self, tmp_path):

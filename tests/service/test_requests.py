@@ -79,7 +79,7 @@ class TestPartitionResponse:
         assert resp.assignment.shape == (24,)
 
     def test_matches_direct_evaluation(self):
-        from repro.experiments import make_partition
+        from repro.partition.pipeline import partition_stage
         from repro.graphs import mesh_graph
         from repro.cubesphere import cubed_sphere_mesh
         from repro.partition import evaluate_partition
@@ -87,7 +87,7 @@ class TestPartitionResponse:
 
         req = PartitionRequest(ne=4, nparts=12, method="rb")
         resp = compute_response(req)
-        part = make_partition(4, 12, "rb")
+        part = partition_stage("rb", 4, 12)
         assert np.array_equal(resp.assignment, part.assignment)
         graph = mesh_graph(
             cubed_sphere_mesh(4),

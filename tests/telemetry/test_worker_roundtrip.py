@@ -47,8 +47,15 @@ def test_pool_metrics_merge_into_parent_registry():
             engine.run(REQUESTS)
     reg = session.metrics
     assert reg.counter("worker_payloads_merged").value == len(REQUESTS)
-    # quality histograms recorded in the parent (one per response)
-    assert reg.histogram("request_lb_nelemd").total == len(REQUESTS)
+    # quality histograms recorded in the parent (one per response),
+    # labeled by registry partitioner name
+    lb_series = {
+        labels.get("partitioner"): metric
+        for name, labels, metric in reg.items()
+        if name == "request_lb_nelemd"
+    }
+    assert set(lb_series) == {"sfc", "rb"}
+    assert sum(m.total for m in lb_series.values()) == len(REQUESTS)
     # kernel-selection counters recorded in the workers, merged here
     total = sum(
         metric.value

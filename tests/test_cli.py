@@ -488,7 +488,7 @@ class TestMetricsCommand:
         assert main(["metrics", str(mpath), "--prometheus"]) == 0
         out = capsys.readouterr().out
         assert "# TYPE request_lb_nelemd histogram" in out
-        assert 'request_lb_nelemd_bucket{le="+Inf"} 1' in out
+        assert 'request_lb_nelemd_bucket{le="+Inf",partitioner="sfc"} 1' in out
 
     def test_serves_request_file(self, tmp_path, capsys):
         reqs = tmp_path / "reqs.json"
@@ -501,3 +501,59 @@ class TestMetricsCommand:
     def test_missing_source_errors(self, tmp_path):
         with pytest.raises(SystemExit, match="not found"):
             main(["metrics", str(tmp_path / "nope.json")])
+
+
+class TestMethodsCommand:
+    def test_lists_all_registered(self, capsys):
+        from repro.partition.registry import available
+
+        assert main(["methods"]) == 0
+        out = capsys.readouterr().out
+        assert "Registered partitioners" in out
+        for name in available():
+            assert name in out
+        assert "2^n * 3^m" in out  # sfc's ne constraint surfaced
+
+    def test_csv_output(self, capsys):
+        assert main(["methods", "--csv"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].startswith("method,family,weighted,seeded,schedule")
+        assert len(lines) == 9  # header + eight methods
+        assert lines[1].startswith("sfc,sfc,yes,no,yes")
+
+    def test_choices_follow_registry(self):
+        """--method choices come from the registry, not a literal list."""
+        from repro.partition.registry import available
+
+        parser = build_parser()
+        args = parser.parse_args(
+            ["partition", "--ne", "4", "--nparts", "8", "--method", "strided"]
+        )
+        assert args.method == "strided"
+        assert "strided" in available()
+
+
+class TestCacheCommand:
+    def test_info_prints_versions(self, capsys):
+        from repro.partition.pipeline import cache_version
+
+        assert main(["cache", "info"]) == 0
+        out = capsys.readouterr().out
+        assert f"cache version: {cache_version()}" in out
+        assert "stage versions:" in out
+        assert "mesh=1" in out
+
+    def test_info_scans_directory(self, tmp_path, capsys):
+        assert main(["partition", "--ne", "2", "--nparts", "4",
+                     "--cache-dir", str(tmp_path)]) == 0
+        capsys.readouterr()
+        assert main(["cache", "info", "--cache-dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "entries: 1 (current 1, stale 0, unreadable 0)" in out
+
+    def test_help_documents_stale_policy(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["cache", "--help"])
+        out = capsys.readouterr().out
+        assert "recomputed" in out
+        assert "never served" in out

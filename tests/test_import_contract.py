@@ -1,0 +1,107 @@
+"""Layering contract: service and partition never import experiments.
+
+The registry + pipeline refactor inverted the old experiments→service
+dependency; the experiments package is the *top* layer (figure/table
+drivers) and nothing below it may reach back up.  This test walks the
+AST of every module in the lower layers so the contract cannot rot
+silently (CI additionally greps for the same thing).
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+import pytest
+
+import repro
+
+SRC = Path(repro.__file__).resolve().parent
+FORBIDDEN_PACKAGE = "experiments"
+LOWER_LAYERS = ("service", "partition")
+
+
+def _violations(source: str, depth: int) -> list[str]:
+    """Imports of repro.experiments (absolute or relative) in ``source``.
+
+    ``depth`` is how many packages below ``repro`` the module lives
+    (``repro/service/x.py`` is 1 deep, so ``from ..experiments ...``
+    has level 2 and lands back inside ``repro``).
+    """
+    found = []
+    for node in ast.walk(ast.parse(source)):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                parts = alias.name.split(".")
+                if parts[0] == "repro" and FORBIDDEN_PACKAGE in parts:
+                    found.append(f"line {node.lineno}: import {alias.name}")
+        elif isinstance(node, ast.ImportFrom):
+            module_parts = node.module.split(".") if node.module else []
+            lands_in_repro = (
+                (node.level == 0 and module_parts[:1] == ["repro"])
+                or node.level >= depth
+            )
+            if lands_in_repro and (
+                FORBIDDEN_PACKAGE in module_parts
+                or any(a.name == FORBIDDEN_PACKAGE for a in node.names)
+            ):
+                dots = "." * node.level
+                names = ", ".join(a.name for a in node.names)
+                found.append(
+                    f"line {node.lineno}: from {dots}{node.module or ''} "
+                    f"import {names}"
+                )
+    return found
+
+
+def _lower_layer_modules():
+    for layer in LOWER_LAYERS:
+        for path in sorted((SRC / layer).rglob("*.py")):
+            yield pytest.param(path, id=str(path.relative_to(SRC)))
+
+
+@pytest.mark.parametrize("path", _lower_layer_modules())
+def test_no_experiments_imports(path):
+    depth = len(path.relative_to(SRC).parts) - 1
+    violations = _violations(path.read_text(), depth)
+    assert not violations, (
+        f"{path.relative_to(SRC.parent)} imports the experiments package "
+        f"(layering violation): {violations}"
+    )
+
+
+def test_contract_scans_something():
+    assert len(list(_lower_layer_modules())) >= 10
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "import repro.experiments.figures",
+        "import repro.experiments",
+        "from repro.experiments import figures",
+        "from repro.experiments.figures import make_partition",
+        "from ..experiments.figures import make_partition",
+        "from ..experiments import figures",
+        "from .. import experiments",
+    ],
+)
+def test_detector_catches_violations(source):
+    """The AST walker flags every spelling a violation could take."""
+    assert _violations(source, depth=1), f"detector missed {source!r}"
+
+
+@pytest.mark.parametrize(
+    "source",
+    [
+        "from ..partition import registry",
+        "from . import requests",
+        "import numpy as np",
+        "from repro.report import format_table",
+        # A *local* sibling named like the forbidden package at a level
+        # that stays inside the layer is not a layering violation.
+        "from .experiments_helpers import x",
+    ],
+)
+def test_detector_allows_clean_imports(source):
+    assert not _violations(source, depth=1)
