@@ -4,9 +4,16 @@ Validates and times the nonlinear SW solver: Williamson TC2 held
 steady (the geostrophic-balance benchmark every SW dynamical core must
 pass), with per-step throughput measured at SEAM's np=8 — the numbers
 behind the cost model's flops-per-element accounting.
+
+Also measures the batched-engine speedups against the preserved
+pre-batching reference implementations (``repro.seam._reference``):
+RK3 step, fused DSS velocity projection, and geometry build, written
+to ``results/shallow_water_tc2.data.json``.
 """
 
 from __future__ import annotations
+
+from time import perf_counter
 
 import numpy as np
 import pytest
@@ -77,3 +84,106 @@ def test_sw_step_throughput(benchmark, ne):
     dt = solver.stable_dt(state, 0.4)
     result = benchmark(solver.step, state, dt)
     assert np.isfinite(result.h).all()
+
+
+def _best(fn, inner: int = 1, repeats: int = 5) -> float:
+    """Best-of wall seconds for ``inner`` calls of ``fn``, per call."""
+    fn()  # warm
+    best = float("inf")
+    for _ in range(repeats):
+        t0 = perf_counter()
+        for _ in range(inner):
+            fn()
+        best = min(best, (perf_counter() - t0) / inner)
+    return best
+
+
+def test_batched_engine_speedup(save_artifact):
+    """Before/after table: batched engine vs the pre-PR reference.
+
+    The "before" side is the preserved historical implementation
+    (einsum derivatives, per-component ``np.add.at`` DSS, per-element
+    geometry loop); "after" is the shipping batched engine.  One RK3
+    step must agree to <= 1e-12 — the speedup is free of accuracy
+    loss.
+    """
+    from repro.seam._reference import ReferenceDSS, ReferenceShallowWaterSolver
+    from repro.seam.element import _build_grid_geometry, _element_geometry
+
+    ne, npts = 3, 8
+    geom = build_geometry(ne, npts)
+    state = williamson_tc2(geom)
+    new_solver = ShallowWaterSolver(geom)
+    old_solver = ReferenceShallowWaterSolver(geom)
+    dt = 0.5 * new_solver.stable_dt(state, 0.4)
+
+    # Equivalence first: the speedup must not change the answer.
+    s_new = new_solver.step(state, dt)
+    s_old = old_solver.step(state.copy(), dt)
+    dv = float(np.abs(s_new.v - s_old.v).max())
+    dh = float(np.abs(s_new.h - s_old.h).max())
+    assert dv < 1e-12 and dh < 1e-12
+
+    # RK3 step.
+    step_new = _best(lambda: new_solver.step(state, dt), inner=10)
+    step_old = _best(lambda: old_solver.step(state, dt), inner=3)
+
+    # DSS velocity projection: one fused (nelem, np, np, 3) apply vs
+    # the historical per-component loop.
+    old_dss = ReferenceDSS(geom)
+    vec = np.random.default_rng(0).standard_normal((geom.nelem, npts, npts, 3))
+    out = np.empty_like(vec)
+    assert np.abs(
+        new_solver.dss.apply(vec) - old_dss.apply_vector(vec)
+    ).max() < 1e-12
+    dss_new = _best(lambda: new_solver.dss.apply(vec, out=out), inner=500)
+    dss_old = _best(lambda: old_dss.apply_vector(vec), inner=50)
+
+    # Geometry build at ne=8: batched per-face stacks vs the
+    # historical per-element loop.
+    ne_geo = 8
+    mesh = build_geometry(ne_geo, npts).mesh
+    basis = build_geometry(ne_geo, npts).basis
+    geo_new = _best(lambda: _build_grid_geometry(ne_geo, npts), inner=3)
+
+    def old_geometry_loop() -> None:
+        for gid in range(mesh.nelem):
+            _element_geometry(mesh, basis, gid)
+
+    geo_old = _best(old_geometry_loop, inner=1, repeats=3)
+
+    rows = [
+        ["RK3 step (ne=3, np=8)", f"{1e3 * step_old:.2f} ms",
+         f"{1e3 * step_new:.2f} ms", f"{step_old / step_new:.1f}x"],
+        ["DSS apply, 3-comp (ne=3, np=8)", f"{1e6 * dss_old:.1f} us",
+         f"{1e6 * dss_new:.1f} us", f"{dss_old / dss_new:.1f}x"],
+        [f"geometry build (ne={ne_geo}, np=8)", f"{1e3 * geo_old:.2f} ms",
+         f"{1e3 * geo_new:.2f} ms", f"{geo_old / geo_new:.1f}x"],
+    ]
+    save_artifact(
+        "shallow_water_tc2_speedup",
+        format_table(
+            ["operation", "before", "after", "speedup"],
+            rows,
+            title="Batched SEAM engine vs pre-batching reference",
+        ),
+        data={
+            "ne": ne,
+            "npts": npts,
+            "step_before_s": step_old,
+            "step_after_s": step_new,
+            "step_speedup": step_old / step_new,
+            "dss_apply_before_s": dss_old,
+            "dss_apply_after_s": dss_new,
+            "dss_apply_speedup": dss_old / dss_new,
+            "geometry_ne": ne_geo,
+            "geometry_before_s": geo_old,
+            "geometry_after_s": geo_new,
+            "geometry_speedup": geo_old / geo_new,
+            "step_max_abs_dv": dv,
+            "step_max_abs_dh": dh,
+        },
+    )
+    # Acceptance floors: >=3x RK3 step, >=5x DSS apply.
+    assert step_old / step_new >= 3.0
+    assert dss_old / dss_new >= 5.0

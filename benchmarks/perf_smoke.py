@@ -2,8 +2,9 @@
 """Perf-regression smoke harness (small K, suitable for CI).
 
 Times the kernelized hot paths at K=96 — the three METIS partitioners,
-the SFC partitioner, the halo-schedule build, and a partitioned DSS
-apply — and compares each against the committed baseline
+the SFC partitioner, the halo-schedule build, a partitioned DSS apply,
+the fused DSS apply, a shallow-water RK3 step, and the batched
+geometry build — and compares each against the committed baseline
 (``benchmarks/perf_baseline.json``).  Any timing more than ``--tolerance``
 times its baseline (default 3x, loose enough for machine-to-machine
 variation but tight enough to catch a de-kernelized hot path) fails the
@@ -73,6 +74,38 @@ def measure() -> dict[str, float]:
     q = np.random.default_rng(0).standard_normal(pdss.local_mass.shape)
     pdss.apply(q)
     timings["pdss_apply"] = _best_of(lambda: pdss.apply(q))
+
+    # Batched SEAM engine metrics (np=8, SEAM's polynomial order).
+    from repro.seam import ShallowWaterSolver, williamson_tc2
+    from repro.seam.dss import DSSOperator
+    from repro.seam.element import _build_grid_geometry
+
+    geom8 = build_geometry(NE, 8)
+    dss = DSSOperator(geom8)
+    vec = np.random.default_rng(1).standard_normal((geom8.nelem, 8, 8, 3))
+    out = np.empty_like(vec)
+    dss.apply(vec, out=out)  # warm (shape plan, scratch)
+    inner = 200
+
+    def dss_loop() -> None:
+        for _ in range(inner):
+            dss.apply(vec, out=out)
+
+    timings["dss_apply"] = _best_of(dss_loop) / inner
+
+    solver = ShallowWaterSolver(geom8, dss=dss)
+    state = williamson_tc2(geom8)
+    dt = solver.stable_dt(state, 0.4)
+    solver.step(state, dt)  # warm
+
+    def step_loop() -> None:
+        for _ in range(5):
+            solver.step(state, dt)
+
+    timings["sw_step"] = _best_of(step_loop) / 5
+
+    _build_grid_geometry(NE, 8)  # warm (allocator free lists)
+    timings["geometry_build"] = _best_of(lambda: _build_grid_geometry(NE, 8))
     return timings
 
 

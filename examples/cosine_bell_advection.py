@@ -35,7 +35,7 @@ def main() -> None:
     rev = float(sys.argv[2]) if len(sys.argv) > 2 else 0.25
     npts = 8  # SEAM's polynomial order
     geom = build_geometry(ne, npts)
-    xyz = np.stack([e.xyz for e in geom.elements])
+    xyz = geom.xyz
     axis = np.array([0.0, 2.0**-0.5, 2.0**-0.5])  # oblique: crosses faces
     center = np.array([1.0, 0.0, 0.0])
 

@@ -437,3 +437,115 @@ int64_t ggg_partition(
     free(head); free(tail); free(ev); free(enext);
     return 0;
 }
+
+/* ------------------------------------------------------------------ */
+/* Direct stiffness summation (SEAM)                                   */
+/* ------------------------------------------------------------------ */
+
+/* Fused DSS projection, compacted to the element-boundary points.
+ *
+ * Interior GLL points (multiplicity 1) are fixed points of the
+ * projection up to one rounding (num/mass == field), so the kernel
+ * copies the field through and only runs the average over the nb
+ * element-local copies of shared points.  Copies are stored
+ * segment-major — sorted by boundary point, original (ascending
+ * element-local) order preserved inside each segment — so the
+ * weighted sum per point accumulates in registers instead of
+ * scattering into memory:
+ *
+ *   bidx[j]   flat element-local index of boundary copy j
+ *   seg[p]    start of point p's copies in bidx/bmass (seg[nbpoints]=nb)
+ *   bmass[j]  J-weighted quadrature mass at copy j
+ *   inv_bgmass[p]  reciprocal of the summed mass of boundary point p
+ *
+ * field/out are (n, ncomp) C-order; num is caller scratch of size
+ * nbpoints * ncomp.  When out == field the projection runs in place
+ * and the passthrough copy is skipped.
+ *
+ * The constant geometry of the operator arrives as a 7-slot "plan"
+ * (built once per DSSOperator) so the per-call ctypes marshalling is
+ * 5 arguments instead of 11 — this call sits on the RK3 hot path at
+ * ~10us total, where argument conversion is a measurable cost:
+ *
+ *   plan[0] n         total element-local points
+ *   plan[1] nb        boundary copies
+ *   plan[2] nbpoints  distinct boundary points
+ *   plan[3] bidx      (const int64_t *)
+ *   plan[4] seg       (const int64_t *), nbpoints + 1 offsets
+ *   plan[5] bmass     (const double *)
+ *   plan[6] inv_bgmass (const double *)
+ *
+ * Bit-identity contract with the numpy fallback in repro.seam.dss:
+ * each point's contributions accumulate in ascending element-local
+ * order (the same per-point order as weighted np.bincount over the
+ * segment-major id array), the average is a multiply by the
+ * reciprocal mass, and the library is compiled with -ffp-contract=off
+ * so the mul/add pair is never fused into an FMA the fallback would
+ * not perform.
+ */
+int64_t dss_apply(
+    const int64_t *plan, int64_t ncomp,
+    const double *field, double *num, double *out)
+{
+    const int64_t n = plan[0], nbpoints = plan[2];
+    const int64_t *bidx = (const int64_t *)plan[3];
+    const int64_t *seg = (const int64_t *)plan[4];
+    const double *bmass = (const double *)plan[5];
+    const double *inv_bgmass = (const double *)plan[6];
+    if (out != field)
+        memcpy(out, field, (size_t)(n * ncomp) * sizeof(double));
+    if (ncomp == 1) {
+        for (int64_t p = 0; p < nbpoints; p++) {
+            double s = 0.0;
+            for (int64_t j = seg[p]; j < seg[p + 1]; j++)
+                s += bmass[j] * field[bidx[j]];
+            num[p] = s * inv_bgmass[p];
+        }
+        for (int64_t p = 0; p < nbpoints; p++) {
+            double v = num[p];
+            for (int64_t j = seg[p]; j < seg[p + 1]; j++) out[bidx[j]] = v;
+        }
+    } else if (ncomp == 3) {
+        for (int64_t p = 0; p < nbpoints; p++) {
+            double s0 = 0.0, s1 = 0.0, s2 = 0.0;
+            for (int64_t j = seg[p]; j < seg[p + 1]; j++) {
+                double w = bmass[j];
+                const double *src = field + bidx[j] * 3;
+                s0 += w * src[0];
+                s1 += w * src[1];
+                s2 += w * src[2];
+            }
+            double g = inv_bgmass[p];
+            num[p * 3] = s0 * g;
+            num[p * 3 + 1] = s1 * g;
+            num[p * 3 + 2] = s2 * g;
+        }
+        for (int64_t p = 0; p < nbpoints; p++) {
+            double v0 = num[p * 3], v1 = num[p * 3 + 1], v2 = num[p * 3 + 2];
+            for (int64_t j = seg[p]; j < seg[p + 1]; j++) {
+                double *dst = out + bidx[j] * 3;
+                dst[0] = v0;
+                dst[1] = v1;
+                dst[2] = v2;
+            }
+        }
+    } else {
+        for (int64_t p = 0; p < nbpoints; p++) {
+            double g = inv_bgmass[p];
+            for (int64_t c = 0; c < ncomp; c++) {
+                double s = 0.0;
+                for (int64_t j = seg[p]; j < seg[p + 1]; j++)
+                    s += bmass[j] * field[bidx[j] * ncomp + c];
+                num[p * ncomp + c] = s * g;
+            }
+        }
+        for (int64_t p = 0; p < nbpoints; p++) {
+            const double *src = num + p * ncomp;
+            for (int64_t j = seg[p]; j < seg[p + 1]; j++) {
+                double *dst = out + bidx[j] * ncomp;
+                for (int64_t c = 0; c < ncomp; c++) dst[c] = src[c];
+            }
+        }
+    }
+    return 0;
+}

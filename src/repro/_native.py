@@ -26,6 +26,11 @@ __all__ = ["LIB", "load"]
 
 _SOURCE = Path(__file__).with_name("_kernels.c")
 _I64P = ctypes.POINTER(ctypes.c_int64)
+_F64P = ctypes.POINTER(ctypes.c_double)
+
+# -ffp-contract=off: the float kernels (dss_apply) promise bit-identity
+# with the numpy fallbacks, which never fuse a multiply-add into an FMA.
+_CFLAGS = ["-O2", "-ffp-contract=off", "-shared", "-fPIC"]
 
 # Gain bounds above this make the bucket arrays unreasonably large;
 # such graphs (enormous edge weights) take the Python heap path.
@@ -49,7 +54,7 @@ def _compile(source: Path, out: Path) -> bool:
     tmp = out.with_name(f"{out.stem}.{os.getpid()}.tmp{out.suffix}")
     try:
         subprocess.run(
-            [cc, "-O2", "-shared", "-fPIC", "-o", str(tmp), str(source)],
+            [cc, *_CFLAGS, "-o", str(tmp), str(source)],
             check=True,
             capture_output=True,
             timeout=120,
@@ -69,7 +74,7 @@ def load() -> ctypes.CDLL | None:
         source_text = _SOURCE.read_bytes()
     except OSError:
         return None
-    tag = hashlib.sha256(source_text).hexdigest()[:16]
+    tag = hashlib.sha256(source_text + " ".join(_CFLAGS).encode()).hexdigest()[:16]
     cache = _cache_dir()
     lib_path = cache / f"kernels-{tag}.so"
     if not lib_path.exists():
@@ -121,6 +126,17 @@ def load() -> ctypes.CDLL | None:
             ctypes.c_int64,  # bound
             _I64P,  # best_side (out)
         ]
+        # Pointer params are void*: callers pass raw addresses (ints),
+        # skipping ctypes' per-call POINTER conversion on the hot path.
+        # The operator constants travel in a 7-slot int64 "plan" array
+        # (see _kernels.c) to keep per-call marshalling at 5 arguments.
+        lib.dss_apply.restype = ctypes.c_int64
+        lib.dss_apply.argtypes = [
+            ctypes.c_void_p,  # plan
+            ctypes.c_int64,  # ncomp
+            ctypes.c_void_p,  # field
+            ctypes.c_void_p, ctypes.c_void_p,  # num scratch, out
+        ]
     except AttributeError:
         return None
     return lib
@@ -129,6 +145,11 @@ def load() -> ctypes.CDLL | None:
 def as_i64p(arr) -> ctypes.POINTER(ctypes.c_int64):  # type: ignore[valid-type]
     """C pointer to a contiguous int64 NumPy array's data."""
     return arr.ctypes.data_as(_I64P)
+
+
+def as_f64p(arr) -> ctypes.POINTER(ctypes.c_double):  # type: ignore[valid-type]
+    """C pointer to a contiguous float64 NumPy array's data."""
+    return arr.ctypes.data_as(_F64P)
 
 
 LIB = load()

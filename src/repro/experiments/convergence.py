@@ -60,13 +60,12 @@ def transport_convergence(
     for ne in nes:
         for npts in npts_list:
             geom = build_geometry(ne, npts)
-            xyz = np.stack([e.xyz for e in geom.elements])
-            q0 = cosine_bell(xyz, _CENTER, radius=radius)
+            q0 = cosine_bell(geom.xyz, _CENTER, radius=radius)
             q, departed = advect(geom, _AXIS, angle, q0, cfl=cfl)
             ref = cosine_bell(departed, _CENTER, radius=radius)
-            from ..seam.dss import DSSOperator
+            from ..seam.dss import shared_dss_operator
 
-            dss = DSSOperator(geom)
+            dss = shared_dss_operator(geom)
             points.append(
                 ConvergencePoint(
                     ne=ne, npts=npts, norms=error_norms(dss, q, ref)

@@ -19,9 +19,18 @@ from .dss import (
     PointMap,
     build_halo_schedule,
     build_point_map,
+    clear_dss_memo,
+    dss_memo_stats,
     exchange_schedule,
+    shared_dss_operator,
 )
-from .element import ElementGeometry, GridGeometry, build_geometry
+from .element import (
+    ElementGeometry,
+    GridGeometry,
+    build_geometry,
+    clear_geometry_cache,
+    geometry_cache_stats,
+)
 from .gll import GLLBasis, gll_basis, legendre_and_derivative
 from .transport import (
     TransportSolver,
@@ -50,13 +59,18 @@ __all__ = [
     "build_geometry",
     "build_halo_schedule",
     "build_point_map",
+    "clear_dss_memo",
+    "clear_geometry_cache",
     "conservation_drift",
     "cosine_bell",
+    "dss_memo_stats",
     "error_norms",
     "exchange_schedule",
+    "geometry_cache_stats",
     "gll_basis",
     "legendre_and_derivative",
     "rotate_about_axis",
+    "shared_dss_operator",
     "solid_body_wind",
     "williamson_tc2",
 ]

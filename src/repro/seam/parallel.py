@@ -73,15 +73,13 @@ class PartitionedDSS:
         partition: Partition,
         point_map: PointMap | None = None,
     ):
-        if partition.nvertices != len(geom.elements):
+        if partition.nvertices != geom.nelem:
             raise ValueError("partition does not match the grid")
         self.geom = geom
         self.partition = partition
         self.point_map = point_map if point_map is not None else build_point_map(geom)
         self.nranks = partition.nparts
-        basis = geom.basis
-        w2 = basis.weights[:, None] * basis.weights[None, :]
-        self.local_mass = np.stack([e.jac * w2 for e in geom.elements])
+        self.local_mass = geom.local_mass
         self._build_rank_structures()
         self.accounting = ExchangeAccounting(nranks=self.nranks)
 
@@ -103,9 +101,9 @@ class PartitionedDSS:
         self.rank_points = rank_points
         # Every element-local point's dense local id on its owning rank,
         # one flat index array per rank.  These drive both gather
-        # (np.add.at, which accumulates in index order — the same
-        # element-by-element order as the historical per-element loop,
-        # so float sums are bit-identical) and scatter.
+        # (weighted np.bincount, which accumulates in index order — the
+        # same element-by-element order as the historical np.add.at and
+        # per-element loop, so float sums are bit-identical) and scatter.
         self._rank_idx = [
             np.searchsorted(rank_points[r], ids[self.rank_elements[r]].ravel())
             for r in range(self.nranks)
@@ -185,11 +183,11 @@ class PartitionedDSS:
 
     def _gather_rank(self, rank: int, field_: np.ndarray) -> np.ndarray:
         """Rank-local partial sums of a per-element point field."""
-        out = np.zeros(len(self.rank_points[rank]))
-        np.add.at(
-            out, self._rank_idx[rank], field_[self.rank_elements[rank]].ravel()
+        return np.bincount(
+            self._rank_idx[rank],
+            weights=field_[self.rank_elements[rank]].ravel(),
+            minlength=len(self.rank_points[rank]),
         )
-        return out
 
     def _exchange_into(self, partials: list[np.ndarray], count: bool = True) -> None:
         """Add every rank's shared-point partials into its neighbors."""
@@ -214,9 +212,9 @@ class PartitionedDSS:
         up to floating-point summation order (tested to 1e-12).
         """
         with span("pdss_apply", "seam"):
+            weighted = self.local_mass * field_
             partials = [
-                self._gather_rank(r, self.local_mass * field_)
-                for r in range(self.nranks)
+                self._gather_rank(r, weighted) for r in range(self.nranks)
             ]
             self._exchange_into(partials)
             out = np.empty_like(field_)

@@ -21,7 +21,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
-from .dss import DSSOperator
+from .dss import DSSOperator, shared_dss_operator
 from .element import GridGeometry
 
 __all__ = [
@@ -94,43 +94,70 @@ class TransportSolver:
 
     def __post_init__(self) -> None:
         if self.dss is None:
-            self.dss = DSSOperator(self.geom)
-        nelem = len(self.geom.elements)
-        npts = self.geom.npts
+            self.dss = shared_dss_operator(self.geom)
+        geom = self.geom
+        nelem = geom.nelem
+        npts = geom.npts
         if self.wind_cart.shape != (nelem, npts, npts, 3):
             raise ValueError("wind_cart has wrong shape")
-        # Precompute J and the J-weighted contravariant wind.
-        self.jac = np.stack([e.jac for e in self.geom.elements])
-        contra = np.stack(
-            [
-                e.contravariant_wind(self.wind_cart[e.gid])
-                for e in self.geom.elements
-            ]
+        # Precompute J and the J-weighted contravariant wind from the
+        # grid-wide geometry stacks (no per-element Python loop).
+        self.jac = geom.jac
+        w = self.wind_cart
+        cov1 = (
+            w[..., 0] * geom.basis_a[..., 0]
+            + w[..., 1] * geom.basis_a[..., 1]
+            + w[..., 2] * geom.basis_a[..., 2]
         )
-        self.flux_u = self.jac * contra[..., 0]
-        self.flux_v = self.jac * contra[..., 1]
-        self.diff = self.geom.basis.diff
+        cov2 = (
+            w[..., 0] * geom.basis_b[..., 0]
+            + w[..., 1] * geom.basis_b[..., 1]
+            + w[..., 2] * geom.basis_b[..., 2]
+        )
+        ginv = geom.ginv
+        contra1 = ginv[..., 0, 0] * cov1 + ginv[..., 0, 1] * cov2
+        contra2 = ginv[..., 1, 0] * cov1 + ginv[..., 1, 1] * cov2
+        self.flux_u = self.jac * contra1
+        self.flux_v = self.jac * contra2
+        self.diff = np.ascontiguousarray(geom.basis.diff)
+        self._diff_t = np.ascontiguousarray(self.diff.T)
+        self._neg_inv_jac = -1.0 / self.jac
+        # CFL constants for the frozen wind, hoisted out of stable_dt.
+        self._min_dxi = float(np.min(np.diff(geom.basis.nodes)))
+        speed = np.abs(self.flux_u / self.jac) + np.abs(self.flux_v / self.jac)
+        self._max_speed = float(speed.max())
+        # RHS workspace (flux products and their derivatives).
+        shape = (nelem, npts, npts)
+        self._fu = np.empty(shape)
+        self._fv = np.empty(shape)
+        self._dfu = np.empty(shape)
+        self._dfv = np.empty(shape)
         self.rhs_evals = 0  # instrumentation for the cost model
 
     def rhs(self, q: np.ndarray) -> np.ndarray:
-        """Right-hand side ``-(1/J) div(J u q)`` (element-wise)."""
+        """Right-hand side ``-(1/J) div(J u q)`` (element-wise).
+
+        The two reference-axis derivatives are BLAS matmuls: the
+        ``dxi_1`` derivative broadcasts ``diff`` over the element
+        stack, the ``dxi_2`` derivative is one ``(nelem*np, np)``
+        GEMM against ``diff.T``.
+        """
         self.rhs_evals += 1
-        fu = self.flux_u * q
-        fv = self.flux_v * q
+        fu, fv, dfu, dfv = self._fu, self._fv, self._dfu, self._dfv
+        np.multiply(self.flux_u, q, out=fu)
+        np.multiply(self.flux_v, q, out=fv)
         # d/dxi_1 acts on the first tensor index, d/dxi_2 on the second.
-        dfu = np.einsum("ab,ebj->eaj", self.diff, fu)
-        dfv = np.einsum("ab,ejb->eja", self.diff, fv)
-        return -(dfu + dfv) / self.jac
+        np.matmul(self.diff, fu, out=dfu)
+        npts = fv.shape[-1]
+        np.matmul(fv.reshape(-1, npts), self._diff_t, out=dfv.reshape(-1, npts))
+        np.add(dfu, dfv, out=dfu)
+        return dfu * self._neg_inv_jac
 
     def stable_dt(self, cfl: float = 0.5) -> float:
         """CFL-limited timestep for the frozen wind."""
-        nodes = self.geom.basis.nodes
-        min_dxi = float(np.min(np.diff(nodes)))
-        speed = np.abs(self.flux_u / self.jac) + np.abs(self.flux_v / self.jac)
-        max_speed = float(speed.max())
-        if max_speed == 0.0:
+        if self._max_speed == 0.0:
             return np.inf
-        return cfl * min_dxi / max_speed
+        return cfl * self._min_dxi / self._max_speed
 
     def step(self, q: np.ndarray, dt: float) -> np.ndarray:
         """One SSP RK3 step with DSS projection after every stage."""
@@ -178,7 +205,7 @@ def advect(
         ``(q_final, positions_back_rotated)`` — the second output lets
         callers evaluate the analytic field at departure points.
     """
-    xyz = np.stack([e.xyz for e in geom.elements])
+    xyz = geom.xyz
     wind = solid_body_wind(xyz, axis, omega=1.0)
     solver = TransportSolver(geom, wind)
     q = solver.run(q0, t_end=angle, cfl=cfl)
