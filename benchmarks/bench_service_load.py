@@ -1,0 +1,346 @@
+"""Closed-loop load harness for the async partition server.
+
+Drives an in-process :class:`~repro.server.PartitionServer` (ephemeral
+port, real sockets) with N concurrent keep-alive clients issuing a
+Zipf-distributed mix over ``(ne, nparts, method)``, in five phases:
+
+1. **burst** — one uncached key hit by many concurrent clients at
+   once: every request but one must coalesce onto the single compute.
+2. **cold** — the Zipf mix against an empty cache at moderate
+   concurrency; hot keys coalesce, the tail computes.
+3. **warm** — the same mix at high concurrency against the now-warm
+   cache; every answer is a memory hit that never touches the pool.
+4. **disconnect** — clients that send a request and abort without
+   reading the response, mid-compute and mid-cache-hit; the server
+   must drain to idle and keep answering.
+5. **saturation** — a second server with a tiny ``--max-pending``
+   takes a volley of distinct cache misses; the overflow must be
+   rejected with 503 + Retry-After, not queued unboundedly.
+
+Reports p50/p99 latency, throughput, coalesce rate, and cache hit
+rate per phase to ``benchmarks/results/bench_service_load.json`` and
+exits non-zero if an acceptance check fails:
+
+* warm p99 < 10x warm p50 (cached latency stays flat under load);
+* coalesce rate > 0 on the duplicate burst;
+* zero dropped or hung requests, including across forced disconnects;
+* the saturation volley sees >= 1 rejection and every request gets a
+  definitive answer (200 or 503 — nothing hangs).
+
+Run ``python benchmarks/bench_service_load.py`` for the full profile
+(warm concurrency 256) or ``--smoke`` for the ~200-request CI profile.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import random
+import sys
+from collections import Counter
+from pathlib import Path
+from time import perf_counter
+
+from repro.server import Connection, PartitionServer, fetch
+from repro.service import PartitionEngine
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+#: The request universe: small meshes so computes are quick, three
+#: families so the mix exercises distinct code paths.
+MIX_NE = (2, 3, 4, 6)
+MIX_NPARTS = (4, 6, 8, 12)
+MIX_METHODS = ("sfc", "rb", "block")
+ZIPF_S = 1.1  # mild skew: a hot head, a long computed tail
+
+
+def build_mix(rng: random.Random) -> tuple[list[dict], list[float]]:
+    """The request universe and its Zipf popularity weights."""
+    combos = [
+        {"ne": ne, "nparts": nparts, "method": method}
+        for method in MIX_METHODS
+        for ne in MIX_NE
+        for nparts in MIX_NPARTS
+    ]
+    rng.shuffle(combos)  # decouple popularity rank from parameter order
+    weights = [1.0 / (rank + 1) ** ZIPF_S for rank in range(len(combos))]
+    return combos, weights
+
+
+def percentile(samples: list[float], q: float) -> float:
+    if not samples:
+        return float("nan")
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))]
+
+
+async def run_phase(
+    host: str,
+    port: int,
+    *,
+    clients: int,
+    requests: int,
+    mix: list[dict],
+    weights: list[float],
+    rng: random.Random,
+    timeout: float = 60.0,
+) -> dict:
+    """Closed loop: ``clients`` connections race through ``requests``."""
+    latencies: list[float] = []
+    statuses: Counter = Counter()
+    sources: Counter = Counter()
+    dropped = 0
+    remaining = [requests]
+
+    async def client() -> None:
+        nonlocal dropped
+        conn = await Connection.open(host, port)
+        try:
+            while remaining[0] > 0:
+                remaining[0] -= 1
+                payload = rng.choices(mix, weights)[0]
+                t0 = perf_counter()
+                try:
+                    resp = await asyncio.wait_for(
+                        conn.post_json("/partition", payload), timeout
+                    )
+                except (asyncio.TimeoutError, OSError):
+                    dropped += 1
+                    return
+                latencies.append(perf_counter() - t0)
+                statuses[resp.status] += 1
+                if resp.status == 200:
+                    sources[resp.json()["source"]] += 1
+        finally:
+            await conn.close()
+
+    start = perf_counter()
+    await asyncio.gather(*(client() for _ in range(clients)))
+    wall_s = perf_counter() - start
+    answered = sum(statuses.values())
+    return {
+        "clients": clients,
+        "requests": requests,
+        "answered": answered,
+        "dropped_or_hung": dropped,
+        "wall_s": round(wall_s, 4),
+        "throughput_rps": round(answered / wall_s, 1) if wall_s else 0.0,
+        "p50_ms": round(percentile(latencies, 0.50) * 1e3, 3),
+        "p99_ms": round(percentile(latencies, 0.99) * 1e3, 3),
+        "statuses": {str(k): v for k, v in sorted(statuses.items())},
+        "sources": dict(sorted(sources.items())),
+    }
+
+
+async def run_burst(host: str, port: int, *, clients: int) -> dict:
+    """Concurrent identical requests on one uncached key."""
+    payload = {"ne": 8, "nparts": 16, "method": "sfc"}
+
+    async def one() -> str:
+        async with await Connection.open(host, port) as conn:
+            resp = await conn.post_json("/partition", payload)
+            return resp.json()["source"] if resp.status == 200 else "error"
+
+    sources = Counter(await asyncio.gather(*(one() for _ in range(clients))))
+    total = sum(sources.values())
+    return {
+        "clients": clients,
+        "sources": dict(sorted(sources.items())),
+        "coalesce_rate": round(sources["coalesced"] / total, 3),
+    }
+
+
+async def run_disconnects(
+    host: str,
+    port: int,
+    *,
+    aborts: int,
+    mix: list[dict],
+    weights: list[float],
+    rng: random.Random,
+) -> dict:
+    """Fire-and-abort clients, then prove the server drained and serves."""
+    for i in range(aborts):
+        conn = await Connection.open(host, port)
+        # Alternate between an uncached compute (worker in flight when
+        # the client dies) and a warm hit (abort mid-response-write).
+        if i % 2 == 0:
+            payload = {"ne": 4, "nparts": 6, "method": "random", "seed": 1000 + i}
+        else:
+            payload = rng.choices(mix, weights)[0]
+        body = json.dumps(payload).encode()
+        conn._writer.write(
+            b"POST /partition HTTP/1.1\r\nContent-Length: "
+            + str(len(body)).encode()
+            + b"\r\n\r\n"
+            + body
+        )
+        await conn._writer.drain()
+        conn.abort()
+
+    # The orphaned computes must finish and the server must drain idle.
+    deadline = asyncio.get_running_loop().time() + 60.0
+    while True:
+        health = (await fetch(host, port, "GET", "/healthz")).json()
+        if health["inflight"] == 0:
+            break
+        if asyncio.get_running_loop().time() > deadline:
+            return {"aborts": aborts, "drained": False, "healthz": health}
+        await asyncio.sleep(0.05)
+    # ... and still answer normal traffic afterwards.
+    resp = await fetch(
+        host, port, "POST", "/partition",
+        json.dumps({"ne": 4, "nparts": 6, "method": "random", "seed": 1000}).encode(),
+    )
+    return {
+        "aborts": aborts,
+        "drained": True,
+        "post_abort_status": resp.status,
+        "post_abort_source": resp.json().get("source") if resp.status == 200 else None,
+    }
+
+
+async def run_saturation(*, max_pending: int, volley: int) -> dict:
+    """Distinct cache misses against a tiny admission limit."""
+    async with PartitionServer(PartitionEngine(), max_pending=max_pending) as server:
+        host, port = server.address
+
+        async def one(seed: int) -> int:
+            payload = {"ne": 6, "nparts": 8, "method": "random", "seed": seed}
+            async with await Connection.open(host, port) as conn:
+                return (await conn.post_json("/partition", payload)).status
+
+        statuses = Counter(
+            await asyncio.gather(*(one(seed) for seed in range(volley)))
+        )
+        return {
+            "max_pending": max_pending,
+            "volley": volley,
+            "statuses": {str(k): v for k, v in sorted(statuses.items())},
+            "rejected_503": statuses[503],
+            "served_200": statuses[200],
+        }
+
+
+def scrape_counter(metrics_text: str, name: str) -> int:
+    total = 0
+    for line in metrics_text.splitlines():
+        if line.startswith(name) and not line.startswith("#"):
+            total += int(float(line.rsplit(" ", 1)[1]))
+    return total
+
+
+async def main_async(args: argparse.Namespace) -> dict:
+    rng = random.Random(args.seed)
+    mix, weights = build_mix(rng)
+    report: dict = {
+        "schema": 1,
+        "mode": "smoke" if args.smoke else "full",
+        "config": {
+            "mix_size": len(mix),
+            "zipf_s": ZIPF_S,
+            "cold_clients": args.cold_clients,
+            "warm_clients": args.warm_clients,
+            "requests": args.requests,
+            "jobs": args.jobs,
+        },
+        "phases": {},
+    }
+    phases = report["phases"]
+
+    engine = PartitionEngine(jobs=args.jobs)
+    async with PartitionServer(engine) as server:
+        host, port = server.address
+        phases["burst"] = await run_burst(host, port, clients=args.cold_clients)
+        phases["cold"] = await run_phase(
+            host, port,
+            clients=args.cold_clients, requests=args.requests,
+            mix=mix, weights=weights, rng=rng,
+        )
+        phases["warm"] = await run_phase(
+            host, port,
+            clients=args.warm_clients, requests=args.requests,
+            mix=mix, weights=weights, rng=rng,
+        )
+        phases["disconnect"] = await run_disconnects(
+            host, port, aborts=args.aborts, mix=mix, weights=weights, rng=rng,
+        )
+        metrics_text = (await fetch(host, port, "GET", "/metrics")).body.decode()
+        report["server_metrics"] = {
+            name: scrape_counter(metrics_text, name)
+            for name in (
+                "server_coalesced_total",
+                "server_rejected_total",
+                "server_requests_total",
+            )
+        }
+        report["cache_hit_rate"] = round(engine.stats.hit_rate, 3)
+    phases["saturation"] = await run_saturation(
+        max_pending=args.max_pending, volley=args.volley
+    )
+
+    warm, sat = phases["warm"], phases["saturation"]
+    total_dropped = sum(
+        p.get("dropped_or_hung", 0) for p in phases.values()
+    )
+    report["checks"] = {
+        "warm_p99_lt_10x_p50": warm["p99_ms"] < 10.0 * warm["p50_ms"],
+        "burst_coalesces": phases["burst"]["coalesce_rate"] > 0.0,
+        "zero_dropped_or_hung": total_dropped == 0,
+        "disconnects_drained": phases["disconnect"]["drained"]
+        and phases["disconnect"].get("post_abort_status") == 200,
+        "saturation_rejects_503": sat["rejected_503"] >= 1
+        and sat["rejected_503"] + sat["served_200"] == sat["volley"],
+    }
+    report["ok"] = all(report["checks"].values())
+    return report
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="CI profile: ~200 requests at concurrency 32",
+    )
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per timed phase")
+    parser.add_argument("--cold-clients", type=int, default=32)
+    parser.add_argument("--warm-clients", type=int, default=None,
+                        help="warm-phase concurrency (default 256; smoke 32)")
+    parser.add_argument("--jobs", type=int, default=2,
+                        help="engine worker processes")
+    parser.add_argument("--aborts", type=int, default=8,
+                        help="forced client disconnects")
+    parser.add_argument("--max-pending", type=int, default=2,
+                        help="admission limit for the saturation probe")
+    parser.add_argument("--volley", type=int, default=12,
+                        help="distinct concurrent misses in the saturation probe")
+    parser.add_argument("--seed", type=int, default=2003)
+    parser.add_argument("--out", type=Path,
+                        default=RESULTS_DIR / "bench_service_load.json")
+    args = parser.parse_args(argv)
+    if args.warm_clients is None:
+        args.warm_clients = 32 if args.smoke else 256
+    if args.requests is None:
+        args.requests = 200 if args.smoke else 2000
+
+    report = asyncio.run(main_async(args))
+    args.out.parent.mkdir(exist_ok=True)
+    args.out.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+
+    for phase, data in report["phases"].items():
+        line = ", ".join(
+            f"{k}={v}" for k, v in data.items() if not isinstance(v, dict)
+        )
+        print(f"[{phase}] {line}")
+    print(f"[metrics] {report['server_metrics']}, "
+          f"cache_hit_rate={report['cache_hit_rate']}")
+    for check, passed in report["checks"].items():
+        print(f"[check] {check}: {'ok' if passed else 'FAIL'}")
+    print(f"-> {args.out}")
+    return 0 if report["ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

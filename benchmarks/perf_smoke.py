@@ -106,7 +106,43 @@ def measure() -> dict[str, float]:
 
     _build_grid_geometry(NE, 8)  # warm (allocator free lists)
     timings["geometry_build"] = _best_of(lambda: _build_grid_geometry(NE, 8))
+
+    timings["server_warm_hit"] = _measure_server_warm_hit()
     return timings
+
+
+def _measure_server_warm_hit() -> float:
+    """Warm-cache request latency through the HTTP serving path.
+
+    One keep-alive client against an in-process server on an ephemeral
+    port, repeating a cached ``POST /partition``: parse + route + cache
+    hit + serialize, never touching the worker pool.  Guards the
+    event-loop side of the server against regressions the engine-level
+    benches can't see.
+    """
+    import asyncio
+
+    from repro.server import Connection, PartitionServer
+    from repro.service import PartitionEngine
+
+    async def run() -> float:
+        async with PartitionServer(PartitionEngine()) as server:
+            host, port = server.address
+            async with await Connection.open(host, port) as conn:
+                payload = {"ne": NE, "nparts": NPARTS}
+                first = await conn.post_json("/partition", payload)
+                assert first.status == 200  # compute once, cache it
+                inner = 50
+                best = float("inf")
+                for _ in range(5):
+                    t0 = perf_counter()
+                    for _ in range(inner):
+                        resp = await conn.post_json("/partition", payload)
+                        assert resp.status == 200
+                    best = min(best, (perf_counter() - t0) / inner)
+                return best
+
+    return asyncio.run(run())
 
 
 #: Telemetry-disabled overhead budget: the cost of the no-op

@@ -7,6 +7,10 @@ Subcommands mirror the library's main workflows:
   optionally write the assignment and the METIS-format graph;
 * ``batch``     — serve a JSON/CSV file of partition requests through
   the cached, parallel service engine;
+* ``serve``     — run the asyncio HTTP/JSON partition server
+  (``POST /partition``, ``POST /batch``, ``GET /healthz``,
+  ``GET /methods``, ``GET /metrics``) with request coalescing and
+  admission control;
 * ``profile``   — per-stage wall-time profile of a partition request
   (coarsen/initial/refine/uncoarsen, cache, pool) as a table or JSON;
 * ``metrics``   — report LB/edgecut/TCV histograms and counters from a
@@ -210,6 +214,40 @@ def build_parser() -> argparse.ArgumentParser:
     _add_service_flags(p_batch)
     _add_profile_flags(p_batch)
     _add_telemetry_flags(p_batch)
+
+    p_serve = sub.add_parser(
+        "serve", help="run the asyncio HTTP/JSON partition server"
+    )
+    p_serve.add_argument(
+        "--host", default="127.0.0.1", help="bind address (default: 127.0.0.1)"
+    )
+    p_serve.add_argument(
+        "--port",
+        type=int,
+        default=8077,
+        help="bind port; 0 picks an ephemeral port (default: 8077)",
+    )
+    p_serve.add_argument(
+        "--max-pending",
+        type=_positive_int,
+        default=None,
+        help="admission limit on in-flight computes; over-limit requests "
+        "get 503 + Retry-After (default: 8 x jobs)",
+    )
+    p_serve.add_argument(
+        "--timeout",
+        type=float,
+        default=30.0,
+        help="per-connection read/dispatch timeout in seconds (default: 30)",
+    )
+    p_serve.add_argument(
+        "--metrics-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the server's metrics registry snapshot on shutdown",
+    )
+    _add_service_flags(p_serve)
 
     p_prof = sub.add_parser(
         "profile", help="per-stage timing profile of one partition request"
@@ -531,6 +569,68 @@ def _batch_body(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    import asyncio
+
+    return asyncio.run(_serve_main(args))
+
+
+async def _serve_main(args: argparse.Namespace) -> int:
+    """Run the partition server until SIGINT/SIGTERM, then drain."""
+    import asyncio
+    import signal
+    from contextlib import suppress
+
+    from .server import PartitionServer
+
+    with _make_engine(args) as engine:
+        server = PartitionServer(
+            engine,
+            host=args.host,
+            port=args.port,
+            max_pending=args.max_pending,
+            request_timeout=args.timeout,
+        )
+        await server.start()
+        print(
+            f"serving on http://{server.host}:{server.port} "
+            f"(jobs={engine.jobs}, max_pending={server.max_pending})",
+            file=sys.stderr,
+        )
+        loop = asyncio.get_running_loop()
+        stop = asyncio.Event()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-Unix
+                pass
+        forever = asyncio.ensure_future(server.serve_forever())
+        try:
+            await stop.wait()
+        finally:
+            print("shutting down: draining in-flight requests", file=sys.stderr)
+            session = server.session
+            await server.shutdown()
+            forever.cancel()
+            with suppress(asyncio.CancelledError):
+                await forever
+            if args.metrics_json is not None and session is not None:
+                from .telemetry import write_metrics_json
+
+                try:
+                    write_metrics_json(args.metrics_json, session)
+                except OSError as exc:
+                    print(
+                        f"repro: error: cannot write metrics to "
+                        f"'{args.metrics_json}': {exc.strerror or exc}",
+                        file=sys.stderr,
+                    )
+                else:
+                    print(f"wrote {args.metrics_json}", file=sys.stderr)
+            print(engine.stats.render(), file=sys.stderr)
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from contextlib import ExitStack
 
@@ -788,6 +888,7 @@ def main(argv: list[str] | None = None) -> int:
         "curve": _cmd_curve,
         "partition": _cmd_partition,
         "batch": _cmd_batch,
+        "serve": _cmd_serve,
         "profile": _cmd_profile,
         "metrics": _cmd_metrics,
         "methods": _cmd_methods,

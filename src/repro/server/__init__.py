@@ -1,0 +1,47 @@
+"""Async partition server: the HTTP/JSON front-end of the engine.
+
+The serving subsystem the ROADMAP's "millions of users" north star
+asks for: :class:`~repro.server.app.PartitionServer` wraps a
+:class:`~repro.service.engine.PartitionEngine` in an asyncio HTTP/1.1
+endpoint with request coalescing, admission control with backpressure,
+per-connection timeouts, and graceful drain — all stdlib, no new
+runtime dependencies.
+
+Quickstart::
+
+    import asyncio
+    from repro.server import PartitionServer
+    from repro.service import PartitionCache, PartitionEngine
+
+    async def main():
+        engine = PartitionEngine(PartitionCache(cache_dir=".repro-cache"), jobs=4)
+        async with PartitionServer(engine, port=8077) as server:
+            print("serving on %s:%d" % server.address)
+            await server.serve_forever()
+
+    asyncio.run(main())
+
+Or from the CLI: ``python -m repro serve --port 8077 --jobs 4``.
+
+* :mod:`~repro.server.http` — minimal HTTP/1.1 framing over asyncio
+  streams (hard header/body limits, structured JSON errors);
+* :mod:`~repro.server.app` — routing, the coalescing future map,
+  admission control, graceful shutdown;
+* :mod:`~repro.server.client` — the tiny async client the tests and
+  the closed-loop load harness drive the server with.
+"""
+
+from .app import PartitionServer
+from .client import ClientResponse, Connection, fetch
+from .http import HTTPError, HTTPRequest, read_request, render_response
+
+__all__ = [
+    "ClientResponse",
+    "Connection",
+    "HTTPError",
+    "HTTPRequest",
+    "PartitionServer",
+    "fetch",
+    "read_request",
+    "render_response",
+]

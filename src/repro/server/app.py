@@ -1,0 +1,502 @@
+"""The asyncio partition server.
+
+:class:`PartitionServer` puts an HTTP/JSON front-end on the
+:class:`~repro.service.engine.PartitionEngine`:
+
+* ``POST /partition`` — one :class:`~repro.service.requests.PartitionRequest`
+  as a JSON object; answers with the full response (assignment +
+  Table-2 metrics + source).
+* ``POST /batch`` — a JSON list of request objects (or
+  ``{"requests": [...]}``); answers per item, errors included inline.
+* ``GET /healthz`` — liveness plus the in-flight/pending picture.
+* ``GET /methods`` — the partitioner registry as JSON.
+* ``GET /metrics`` — Prometheus text exposition of the active
+  telemetry session's registry.
+
+Serving mechanics, in request order:
+
+1. **Cache lookups run on the event loop** — a warm hit never touches
+   the worker pool, so cached latency is independent of pool load.
+2. **Request coalescing**: concurrent requests with the same content
+   hash share one in-flight compute through ``_inflight`` (an async
+   future map).  Joiners await an ``asyncio.shield`` of the shared
+   task, so a joiner's disconnect can never cancel work someone else
+   is waiting on.
+3. **Admission control**: at most ``max_pending`` computes may be in
+   flight; requests beyond that are rejected with ``503`` and a
+   ``Retry-After`` hint instead of queueing unboundedly.
+4. **Compute in worker processes**: misses run
+   :func:`~repro.service.engine.compute_response` in the engine's
+   ``ProcessPoolExecutor`` via ``run_in_executor`` — the event loop
+   never blocks on partitioning, and worker telemetry payloads are
+   replayed into the server's session.
+5. **Timeouts and disconnects**: every connection read and every
+   request dispatch is bounded by ``request_timeout``; a dead client's
+   compute still runs to completion and lands in the cache, so no
+   worker is ever leaked.
+6. **Graceful shutdown**: :meth:`shutdown` stops accepting, lets
+   handlers finish writing, drains orphaned computes, then closes
+   idle connections and flushes gauges.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from contextlib import ExitStack, suppress
+from time import perf_counter
+
+from ..partition import registry
+from ..service import PartitionEngine, PartitionRequest
+from ..service.engine import _pool_compute, _record_response_metrics
+from ..telemetry import (
+    TelemetrySession,
+    activate,
+    current_session,
+    inc,
+    observe,
+    set_gauge,
+    telemetry_active,
+    replay_payload,
+)
+from .http import (
+    HTTPError,
+    HTTPRequest,
+    error_body,
+    json_body,
+    read_request,
+    render_response,
+)
+
+__all__ = ["PartitionServer"]
+
+#: Upper bound on the number of request objects in one /batch body.
+MAX_BATCH_ITEMS = 4096
+
+
+class _Result:
+    """One route's answer: status + body + response metadata."""
+
+    __slots__ = ("status", "body", "content_type", "headers", "partitioner")
+
+    def __init__(
+        self,
+        status: int,
+        body: bytes,
+        content_type: str = "application/json",
+        headers: dict[str, str] | None = None,
+        partitioner: str = "none",
+    ) -> None:
+        self.status = status
+        self.body = body
+        self.content_type = content_type
+        self.headers = headers or {}
+        self.partitioner = partitioner
+
+
+class PartitionServer:
+    """Async HTTP/JSON front-end over a :class:`PartitionEngine`.
+
+    Args:
+        engine: The serving engine; ``None`` builds a default
+            (memory-cache, ``jobs=1``) engine owned — and closed — by
+            the server.
+        host: Bind address.
+        port: Bind port; ``0`` picks an ephemeral port (read it back
+            from :attr:`port` after :meth:`start`).
+        max_pending: Admission limit on concurrently in-flight
+            computes; ``None`` derives ``8 * engine.jobs`` from the
+            pool size.
+        request_timeout: Seconds allowed per connection read and per
+            request dispatch.
+    """
+
+    def __init__(
+        self,
+        engine: PartitionEngine | None = None,
+        *,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_pending: int | None = None,
+        request_timeout: float = 30.0,
+    ) -> None:
+        self._owns_engine = engine is None
+        self.engine = engine if engine is not None else PartitionEngine()
+        if max_pending is None:
+            max_pending = 8 * self.engine.jobs
+        if max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if request_timeout <= 0:
+            raise ValueError("request_timeout must be positive")
+        self.host = host
+        self.port = port
+        self.max_pending = max_pending
+        self.request_timeout = request_timeout
+        self._server: asyncio.Server | None = None
+        self._closing = False
+        self._inflight: dict[str, asyncio.Task] = {}
+        self._connections: set[asyncio.Task] = set()
+        self._active_requests = 0
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._stack = ExitStack()
+        self.session: TelemetrySession | None = None
+
+    # -- lifecycle ------------------------------------------------------
+
+    async def start(self) -> None:
+        """Bind and start accepting connections."""
+        if self._server is not None:
+            raise RuntimeError("server is already started")
+        if self.engine.closed:
+            raise RuntimeError(
+                "cannot serve with a closed PartitionEngine; build a new engine"
+            )
+        # A long-running server must not accumulate spans, so the
+        # server-owned session is metrics-only.  An already-active
+        # session (CLI telemetry flags, tests) is respected instead.
+        if current_session() is None:
+            self.session = TelemetrySession(
+                trace=False, metrics=True, meta={"command": "serve"}
+            )
+            self._stack.enter_context(activate(session=self.session))
+        else:
+            self.session = current_session()
+        # Fork every pool worker *before* binding: a worker forked
+        # mid-serving would inherit the listening socket and client
+        # fds, keeping them alive after the server closes them.
+        await asyncio.get_running_loop().run_in_executor(
+            None, self.engine.warm
+        )
+        self._server = await asyncio.start_server(
+            self._handle_connection, self.host, self.port
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """``(host, port)`` actually bound (port resolved after start)."""
+        return self.host, self.port
+
+    async def serve_forever(self) -> None:
+        """Serve until cancelled or :meth:`shutdown` is called."""
+        assert self._server is not None, "call start() first"
+        with suppress(asyncio.CancelledError):
+            await self._server.serve_forever()
+
+    async def shutdown(self) -> None:
+        """Graceful shutdown: drain in-flight work, then close.
+
+        Idempotent.  Stops accepting connections, waits for handlers
+        to finish writing their current responses, awaits orphaned
+        computes (their results still land in the cache), closes the
+        remaining idle connections, and flushes the queue-depth gauge.
+        """
+        if self._closing:
+            return
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        if self._active_requests:
+            with suppress(asyncio.TimeoutError):
+                await asyncio.wait_for(
+                    self._idle.wait(), self.request_timeout + 5.0
+                )
+        if self._inflight:
+            await asyncio.gather(
+                *list(self._inflight.values()), return_exceptions=True
+            )
+        for task in list(self._connections):
+            task.cancel()
+        if self._connections:
+            await asyncio.gather(*list(self._connections), return_exceptions=True)
+        set_gauge("server_queue_depth", 0)
+        if self._owns_engine:
+            self.engine.close()
+        self._stack.close()
+
+    async def __aenter__(self) -> "PartitionServer":
+        await self.start()
+        return self
+
+    async def __aexit__(self, *exc) -> None:
+        await self.shutdown()
+
+    # -- connection handling --------------------------------------------
+
+    def _begin_request(self) -> None:
+        self._active_requests += 1
+        self._idle.clear()
+
+    def _end_request(self) -> None:
+        self._active_requests -= 1
+        if self._active_requests == 0:
+            self._idle.set()
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        task = asyncio.current_task()
+        assert task is not None
+        self._connections.add(task)
+        try:
+            await self._connection_loop(reader, writer)
+        except (ConnectionResetError, BrokenPipeError, TimeoutError):
+            pass  # client went away mid-write; nothing left to tell it
+        except asyncio.CancelledError:
+            pass  # shutdown closing an idle connection
+        finally:
+            self._connections.discard(task)
+            writer.close()
+            with suppress(Exception):
+                await writer.wait_closed()
+
+    async def _connection_loop(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        while True:
+            try:
+                request = await asyncio.wait_for(
+                    read_request(reader), self.request_timeout
+                )
+            except asyncio.TimeoutError:
+                return  # idle keep-alive connection: hang up
+            except HTTPError as exc:
+                writer.write(
+                    render_response(
+                        exc.status, error_body(exc),
+                        headers=exc.headers, keep_alive=False,
+                    )
+                )
+                await writer.drain()
+                return
+            if request is None:
+                return  # clean EOF between requests
+            keep = await self._serve_one(request, writer)
+            if not keep:
+                return
+
+    async def _serve_one(
+        self, request: HTTPRequest, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Dispatch one parsed request and write its response.
+
+        Returns whether the connection should be kept open.
+        """
+        self._begin_request()
+        t0 = perf_counter()
+        result: _Result | None = None
+        try:
+            try:
+                result = await asyncio.wait_for(
+                    self._dispatch(request), self.request_timeout
+                )
+            except HTTPError as exc:
+                result = _Result(exc.status, error_body(exc), headers=exc.headers)
+            except asyncio.TimeoutError:
+                exc = HTTPError(
+                    504, "timeout",
+                    f"request exceeded the {self.request_timeout:g}s budget "
+                    "(the compute continues and will be served from cache)",
+                )
+                result = _Result(exc.status, error_body(exc))
+            except Exception as exc:  # noqa: BLE001 - last-resort 500
+                exc = HTTPError(500, "internal_error", f"{type(exc).__name__}: {exc}")
+                result = _Result(exc.status, error_body(exc))
+            keep = request.keep_alive and not self._closing
+            writer.write(
+                render_response(
+                    result.status,
+                    result.body,
+                    content_type=result.content_type,
+                    headers=result.headers,
+                    keep_alive=keep,
+                )
+            )
+            await writer.drain()
+            return keep
+        finally:
+            self._end_request()
+            inc(
+                "server_requests_total",
+                status=str(result.status) if result is not None else "500",
+                partitioner=result.partitioner if result is not None else "none",
+            )
+            observe("server_request_seconds", perf_counter() - t0)
+
+    # -- routing --------------------------------------------------------
+
+    async def _dispatch(self, request: HTTPRequest) -> _Result:
+        route = (request.method, request.path)
+        if route == ("POST", "/partition"):
+            return await self._serve_partition(request)
+        if route == ("POST", "/batch"):
+            return await self._serve_batch(request)
+        if route == ("GET", "/healthz"):
+            return self._serve_healthz()
+        if route == ("GET", "/methods"):
+            return self._serve_methods()
+        if route == ("GET", "/metrics"):
+            return self._serve_metrics()
+        known = {"/partition", "/batch", "/healthz", "/methods", "/metrics"}
+        if request.path in known:
+            raise HTTPError(
+                405, "method_not_allowed",
+                f"{request.method} is not supported on {request.path}",
+            )
+        raise HTTPError(404, "not_found", f"no route for {request.path}")
+
+    def _parse_partition_request(self, data: object) -> PartitionRequest:
+        if not isinstance(data, dict):
+            raise HTTPError(
+                400, "bad_json", "request body must be a JSON object"
+            )
+        try:
+            return PartitionRequest.from_dict(data)
+        except ValueError as exc:
+            # UnknownPartitionerError (did-you-mean), CapabilityError
+            # (inadmissible ne / schedule contract), and schema errors
+            # are all *validation* failures: 422, never a 500.
+            raise HTTPError(422, "invalid_request", str(exc))
+
+    def _decode_json(self, body: bytes) -> object:
+        try:
+            return json.loads(body.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise HTTPError(400, "bad_json", f"request body is not valid JSON: {exc}")
+
+    async def _serve_partition(self, request: HTTPRequest) -> _Result:
+        preq = self._parse_partition_request(self._decode_json(request.body))
+        response = await self._resolve(preq)
+        return _Result(
+            200, json_body(response.to_dict()), partitioner=preq.method
+        )
+
+    async def _serve_batch(self, request: HTTPRequest) -> _Result:
+        data = self._decode_json(request.body)
+        if isinstance(data, dict):
+            data = data.get("requests")
+        if not isinstance(data, list):
+            raise HTTPError(
+                400, "bad_json",
+                "batch body must be a JSON list of request objects "
+                "(or {'requests': [...]})",
+            )
+        if len(data) > MAX_BATCH_ITEMS:
+            raise HTTPError(
+                413, "batch_too_large",
+                f"batch of {len(data)} exceeds the {MAX_BATCH_ITEMS} limit",
+            )
+
+        async def one(item: object) -> dict:
+            try:
+                response = await self._resolve(self._parse_partition_request(item))
+                return response.to_dict()
+            except HTTPError as exc:
+                return json.loads(error_body(exc))
+
+        responses = await asyncio.gather(*(one(item) for item in data))
+        return _Result(
+            200, json_body({"schema": 1, "responses": list(responses)})
+        )
+
+    def _serve_healthz(self) -> _Result:
+        payload = {
+            "status": "draining" if self._closing else "ok",
+            "inflight": len(self._inflight),
+            "max_pending": self.max_pending,
+            "jobs": self.engine.jobs,
+            "connections": len(self._connections),
+            "requests_total": self.engine.stats.total_requests,
+        }
+        return _Result(200, json_body(payload))
+
+    def _serve_methods(self) -> _Result:
+        methods = [
+            {
+                "name": s.name,
+                "family": s.family,
+                "weighted": s.weighted,
+                "seeded": s.uses_seed,
+                "schedule": s.supports_schedule,
+                "ne_constraint": s.ne_constraint,
+                "description": s.description,
+            }
+            for s in registry.specs()
+        ]
+        return _Result(200, json_body({"schema": 1, "methods": methods}))
+
+    def _serve_metrics(self) -> _Result:
+        session = current_session()
+        text = (
+            session.metrics.to_prometheus()
+            if session is not None and session.metrics is not None
+            else ""
+        )
+        return _Result(
+            200,
+            text.encode("utf-8"),
+            content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    # -- the serving core: cache -> coalesce -> admit -> compute --------
+
+    async def _resolve(self, request: PartitionRequest):
+        """Answer one partition request on the event loop."""
+        hit = self.engine.cache.get(request)
+        if hit is not None:
+            self._record(hit)
+            return hit
+        key = request.cache_key()
+        inflight = self._inflight.get(key)
+        if inflight is not None:
+            inc("server_coalesced_total")
+            response = await asyncio.shield(inflight)
+            response = response.with_source("coalesced")
+            self._record(response)
+            return response
+        if self._closing:
+            raise HTTPError(
+                503, "shutting_down", "server is draining; retry elsewhere",
+                {"Retry-After": "1"},
+            )
+        if len(self._inflight) >= self.max_pending:
+            inc("server_rejected_total")
+            raise HTTPError(
+                503, "overloaded",
+                f"{len(self._inflight)} computes already pending "
+                f"(max {self.max_pending}); retry later",
+                {"Retry-After": "1"},
+            )
+        task = asyncio.get_running_loop().create_task(self._compute(request))
+        self._inflight[key] = task
+        task.add_done_callback(lambda t, key=key: self._forget_inflight(key, t))
+        set_gauge("server_queue_depth", len(self._inflight))
+        response = await asyncio.shield(task)
+        self._record(response)
+        return response
+
+    def _forget_inflight(self, key: str, task: asyncio.Task) -> None:
+        self._inflight.pop(key, None)
+        set_gauge("server_queue_depth", len(self._inflight))
+        if not task.cancelled():
+            task.exception()  # consume: every waiter may have disconnected
+
+    async def _compute(self, request: PartitionRequest):
+        """Run one cache miss in the engine's worker pool."""
+        loop = asyncio.get_running_loop()
+        collect = telemetry_active()
+        response, payload = await loop.run_in_executor(
+            self.engine.executor(), _pool_compute, (request, collect)
+        )
+        if payload is not None:
+            replay_payload(payload)
+            inc("worker_payloads_merged")
+        self.engine.cache.put(request, response)
+        return response
+
+    def _record(self, response) -> None:
+        """Per-response bookkeeping shared by every serve path."""
+        self.engine.stats.record(response)
+        _record_response_metrics(response)

@@ -1,0 +1,218 @@
+"""Minimal HTTP/1.1 framing over asyncio streams.
+
+Just enough protocol for the partition server — request-line + header
+parsing, ``Content-Length`` bodies, keep-alive bookkeeping, and
+response rendering — with hard limits on header and body sizes so a
+misbehaving client cannot balloon server memory.  Deliberately *not* a
+general web server: no chunked transfer encoding (a client sending it
+gets ``501``), no multipart, no TLS, no HTTP/2.
+
+Errors during parsing raise :class:`HTTPError`, which carries the HTTP
+status, a machine-readable ``code``, and optional extra headers; the
+application layer renders every ``HTTPError`` as a structured JSON
+error body (``{"error": {"status": ..., "code": ..., "message": ...}}``).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+from dataclasses import dataclass, field
+
+__all__ = [
+    "HTTPError",
+    "HTTPRequest",
+    "MAX_BODY_BYTES",
+    "MAX_HEADER_BYTES",
+    "STATUS_PHRASES",
+    "error_body",
+    "json_body",
+    "read_request",
+    "render_response",
+]
+
+#: Maximum accepted size of the request line plus all headers.
+MAX_HEADER_BYTES = 16 * 1024
+#: Maximum accepted ``Content-Length`` (batch files are a few MB at most).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+STATUS_PHRASES = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    408: "Request Timeout",
+    411: "Length Required",
+    413: "Payload Too Large",
+    422: "Unprocessable Entity",
+    431: "Request Header Fields Too Large",
+    500: "Internal Server Error",
+    501: "Not Implemented",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class HTTPError(Exception):
+    """A request that must be answered with an HTTP error status.
+
+    Attributes:
+        status: HTTP status code.
+        code: Short machine-readable error code for the JSON body.
+        message: Human-readable explanation.
+        headers: Extra response headers (e.g. ``Retry-After``).
+    """
+
+    def __init__(
+        self,
+        status: int,
+        code: str,
+        message: str,
+        headers: dict[str, str] | None = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+        self.headers = dict(headers or {})
+
+
+@dataclass
+class HTTPRequest:
+    """One parsed request.
+
+    Attributes:
+        method: Upper-case HTTP method (``GET``, ``POST``, ...).
+        path: Request target without the query string.
+        headers: Header map with lower-cased names.
+        body: Raw request body (empty when none was sent).
+    """
+
+    method: str
+    path: str
+    headers: dict[str, str] = field(default_factory=dict)
+    body: bytes = b""
+
+    @property
+    def keep_alive(self) -> bool:
+        """Whether the connection should stay open after the response."""
+        return self.headers.get("connection", "").lower() != "close"
+
+
+async def _read_line(reader: asyncio.StreamReader, budget: int) -> bytes:
+    """One CRLF/LF-terminated line within the remaining header budget."""
+    try:
+        line = await reader.readline()
+    except (asyncio.LimitOverrunError, ValueError):
+        raise HTTPError(431, "header_too_large", "request header line too long")
+    if len(line) > budget:
+        raise HTTPError(
+            431, "header_too_large",
+            f"request headers exceed {MAX_HEADER_BYTES} bytes",
+        )
+    return line
+
+
+async def read_request(
+    reader: asyncio.StreamReader, *, max_body: int = MAX_BODY_BYTES
+) -> HTTPRequest | None:
+    """Parse one request off the stream.
+
+    Returns:
+        The parsed request, or ``None`` when the client closed the
+        connection cleanly before sending another request (normal
+        keep-alive termination).
+
+    Raises:
+        HTTPError: Malformed request line or headers, oversized
+            headers/body, or an unsupported transfer encoding.
+    """
+    budget = MAX_HEADER_BYTES
+    line = await _read_line(reader, budget)
+    if not line:
+        return None  # clean EOF between requests
+    budget -= len(line)
+    try:
+        method, target, version = line.decode("ascii").split()
+    except (UnicodeDecodeError, ValueError):
+        raise HTTPError(400, "bad_request_line", "malformed HTTP request line")
+    if not version.startswith("HTTP/1."):
+        raise HTTPError(400, "bad_version", f"unsupported version {version!r}")
+
+    headers: dict[str, str] = {}
+    while True:
+        line = await _read_line(reader, budget)
+        if not line:
+            raise HTTPError(400, "truncated", "connection closed mid-headers")
+        budget -= len(line)
+        if line in (b"\r\n", b"\n"):
+            break
+        try:
+            name, _, value = line.decode("latin-1").partition(":")
+        except UnicodeDecodeError:  # pragma: no cover - latin-1 total
+            raise HTTPError(400, "bad_header", "undecodable header line")
+        if not _ or not name.strip():
+            raise HTTPError(400, "bad_header", f"malformed header {line!r}")
+        headers[name.strip().lower()] = value.strip()
+
+    if "chunked" in headers.get("transfer-encoding", "").lower():
+        raise HTTPError(
+            501, "chunked_unsupported",
+            "chunked transfer encoding is not supported; send Content-Length",
+        )
+    body = b""
+    if "content-length" in headers:
+        try:
+            length = int(headers["content-length"])
+        except ValueError:
+            raise HTTPError(400, "bad_content_length", "non-integer Content-Length")
+        if length < 0:
+            raise HTTPError(400, "bad_content_length", "negative Content-Length")
+        if length > max_body:
+            raise HTTPError(
+                413, "body_too_large",
+                f"request body of {length} bytes exceeds the {max_body} limit",
+            )
+        try:
+            body = await reader.readexactly(length)
+        except asyncio.IncompleteReadError:
+            raise HTTPError(400, "truncated", "connection closed mid-body")
+    elif method in ("POST", "PUT", "PATCH"):
+        raise HTTPError(411, "length_required", "POST requires Content-Length")
+
+    path = target.split("?", 1)[0]
+    return HTTPRequest(method=method.upper(), path=path, headers=headers, body=body)
+
+
+def render_response(
+    status: int,
+    body: bytes,
+    *,
+    content_type: str = "application/json",
+    headers: dict[str, str] | None = None,
+    keep_alive: bool = True,
+) -> bytes:
+    """Serialize one complete HTTP/1.1 response."""
+    phrase = STATUS_PHRASES.get(status, "Unknown")
+    lines = [
+        f"HTTP/1.1 {status} {phrase}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(body)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (headers or {}).items():
+        lines.append(f"{name}: {value}")
+    head = "\r\n".join(lines).encode("latin-1")
+    return head + b"\r\n\r\n" + body
+
+
+def json_body(payload: dict | list) -> bytes:
+    """Encode a JSON response body (sorted keys: stable for tests)."""
+    return json.dumps(payload, sort_keys=True).encode("utf-8")
+
+
+def error_body(exc: HTTPError) -> bytes:
+    """The structured JSON body every error response carries."""
+    return json_body(
+        {"error": {"status": exc.status, "code": exc.code, "message": exc.message}}
+    )

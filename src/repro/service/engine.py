@@ -23,8 +23,10 @@ trivially debuggable.
 
 from __future__ import annotations
 
+import threading
+import time
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import Executor, ProcessPoolExecutor, wait
 from time import perf_counter
 
 from ..partition import registry
@@ -135,12 +137,79 @@ class PartitionEngine:
         self.jobs = jobs
         self.stats = ServiceStats(jobs=jobs)
         self._pool: ProcessPoolExecutor | None = None
+        self._lock = threading.Lock()
+        self._closed = False
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
 
     def close(self) -> None:
         """Shut down the worker pool (idempotent)."""
-        if self._pool is not None:
-            self._pool.shutdown()
-            self._pool = None
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown()
+
+    def _check_open(self) -> None:
+        if self._closed:
+            raise RuntimeError(
+                "PartitionEngine is closed; create a new engine to serve "
+                "further requests"
+            )
+
+    def _ensure_pool(self) -> ProcessPoolExecutor:
+        """The persistent worker pool, created lazily and thread-safely.
+
+        The lock matters for long-running (server) use: the engine may
+        be driven from an event loop and from executor threads at once,
+        and two racing first submissions must not each fork a pool.
+        """
+        with self._lock:
+            self._check_open()
+            if self._pool is None:
+                self._pool = ProcessPoolExecutor(
+                    max_workers=self.jobs if self.jobs > 1 else 1
+                )
+            return self._pool
+
+    def executor(self) -> Executor:
+        """The pool as a ``concurrent.futures.Executor`` (server path).
+
+        Always process-backed — even at ``jobs=1`` — so an asyncio
+        front-end can ``run_in_executor`` CPU-bound computes without
+        ever blocking the event loop (or racing the process-global
+        telemetry state from a worker thread).
+
+        Raises:
+            RuntimeError: The engine has been closed.
+        """
+        return self._ensure_pool()
+
+    def warm(self) -> int:
+        """Fork every worker process now; returns the worker count.
+
+        ``ProcessPoolExecutor`` spawns workers lazily at submission
+        time.  A worker forked mid-serving inherits copies of every
+        file descriptor the parent has opened since the pool was
+        created — including the server's listening socket and client
+        connections — and those copies keep the sockets alive after
+        the parent closes them.  The server therefore warms the pool
+        *before* binding, so no worker can ever hold a socket fd.
+        """
+        pool = self._ensure_pool()
+        want = getattr(pool, "_max_workers", self.jobs)
+        procs = getattr(pool, "_processes", None)
+        # Each submit spawns a new worker while none is idle, so rounds
+        # of short sleeps (keeping existing workers busy) fork the rest.
+        for _ in range(50):
+            if procs is None or len(procs) >= want:
+                break
+            wait([pool.submit(time.sleep, 0.02) for _ in range(want)])
+        return len(procs) if procs is not None else want
 
     def __enter__(self) -> PartitionEngine:
         return self
@@ -156,6 +225,7 @@ class PartitionEngine:
         self, requests: Sequence[PartitionRequest]
     ) -> list[PartitionResponse]:
         """Serve a batch; responses align with ``requests`` by index."""
+        self._check_open()
         start = perf_counter()
         with span("engine_run", "service", requests=len(requests), jobs=self.jobs):
             responses = self._run_batch(requests)
@@ -216,15 +286,14 @@ class PartitionEngine:
                 return [compute_response(req) for req in misses]
         # The pool persists across run() calls: repeated sweeps pay the
         # worker fork/import cost once per engine, not once per batch.
-        if self._pool is None:
-            self._pool = ProcessPoolExecutor(max_workers=self.jobs)
+        pool = self._ensure_pool()
         collect = telemetry_active()
         set_gauge("pool_queue_depth", len(misses))
         responses: list[PartitionResponse] = []
         with span("pool", "service", misses=len(misses), jobs=self.jobs):
             # Replay inside the pool span so worker spans re-parent
             # under it in the trace.
-            for response, payload in self._pool.map(
+            for response, payload in pool.map(
                 _pool_compute, [(req, collect) for req in misses]
             ):
                 if payload is not None:

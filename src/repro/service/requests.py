@@ -153,8 +153,10 @@ class PartitionResponse:
         elapsed_s: Compute time of the underlying partition run (0 is
             legal for cache hits loaded without recomputation).
         source: Where the answer came from: ``"computed"``,
-            ``"memory"``, ``"disk"``, or ``"dedup"`` (a within-batch
-            duplicate of another request).
+            ``"memory"``, ``"disk"``, ``"dedup"`` (a within-batch
+            duplicate of another request), or ``"coalesced"`` (a
+            concurrent server request that shared another request's
+            in-flight compute).
     """
 
     request: PartitionRequest
@@ -188,18 +190,19 @@ class PartitionResponse:
     def with_source(self, source: str) -> "PartitionResponse":
         return replace(self, source=source)
 
+    def to_dict(self) -> dict:
+        """JSON-ready plain-dict form (shared by files and the server)."""
+        return {
+            "schema": 1,
+            "request": self.request.canonical(),
+            "assignment": self.assignment.tolist(),
+            "metrics": self.metrics,
+            "elapsed_s": self.elapsed_s,
+            "source": self.source,
+        }
+
     def to_json(self) -> str:
-        return json.dumps(
-            {
-                "schema": 1,
-                "request": self.request.canonical(),
-                "assignment": self.assignment.tolist(),
-                "metrics": self.metrics,
-                "elapsed_s": self.elapsed_s,
-                "source": self.source,
-            },
-            sort_keys=True,
-        )
+        return json.dumps(self.to_dict(), sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "PartitionResponse":

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 
 __all__ = ["RequestRecord", "ServiceStats"]
 
-SOURCES = ("computed", "memory", "disk", "dedup")
+SOURCES = ("computed", "memory", "disk", "dedup", "coalesced")
 
 
 @dataclass(frozen=True)
@@ -24,8 +24,10 @@ class RequestRecord:
     Attributes:
         key: Short prefix of the request's content hash.
         ne, nparts, method, seed: The request tuple.
-        source: ``"computed"``, ``"memory"``, ``"disk"`` or ``"dedup"``
-            (a within-batch duplicate sharing another request's answer).
+        source: ``"computed"``, ``"memory"``, ``"disk"``, ``"dedup"``
+            (a within-batch duplicate sharing another request's answer)
+            or ``"coalesced"`` (a concurrent server request that joined
+            another request's in-flight compute).
         elapsed_s: Compute time (0 for cache hits).
     """
 
@@ -118,6 +120,7 @@ class ServiceStats:
             "memory_hits": self.count("memory"),
             "disk_hits": self.count("disk"),
             "dedup_hits": self.count("dedup"),
+            "coalesced": self.count("coalesced"),
             "hit_rate": self.hit_rate,
             "wall_s": self.wall_s,
             "compute_s": self.compute_s,

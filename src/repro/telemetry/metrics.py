@@ -37,6 +37,12 @@ DEFAULT_BUCKETS: tuple[float, ...] = (
 _LB_BUCKETS = (0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5)
 #: Edge/point counts: powers of two spanning toy meshes to Ne=48.
 _COUNT_BUCKETS = tuple(float(1 << p) for p in range(3, 18))
+#: Server request latencies: warm cache hits are sub-millisecond, so the
+#: low end is finer than Prometheus's classic boundaries.
+_SERVER_LATENCY_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05,
+    0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
 
 #: Default boundaries by metric name (exact match, else DEFAULT_BUCKETS).
 BUCKETS_BY_METRIC: dict[str, tuple[float, ...]] = {
@@ -44,6 +50,7 @@ BUCKETS_BY_METRIC: dict[str, tuple[float, ...]] = {
     "request_lb_spcv": _LB_BUCKETS,
     "request_edgecut": _COUNT_BUCKETS,
     "request_tcv_points": _COUNT_BUCKETS,
+    "server_request_seconds": _SERVER_LATENCY_BUCKETS,
 }
 
 

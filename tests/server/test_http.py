@@ -1,0 +1,120 @@
+"""Unit tests for the minimal HTTP/1.1 framing layer."""
+
+from __future__ import annotations
+
+import asyncio
+import json
+
+import pytest
+
+from repro.server.http import (
+    HTTPError,
+    error_body,
+    read_request,
+    render_response,
+)
+
+
+def parse(data: bytes):
+    """Run read_request over a pre-fed stream."""
+
+    async def inner():
+        reader = asyncio.StreamReader()
+        reader.feed_data(data)
+        reader.feed_eof()
+        return await read_request(reader)
+
+    return asyncio.run(inner())
+
+
+class TestReadRequest:
+    def test_get(self):
+        req = parse(b"GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n")
+        assert req.method == "GET"
+        assert req.path == "/healthz"
+        assert req.headers["host"] == "x"
+        assert req.body == b""
+        assert req.keep_alive
+
+    def test_post_with_body(self):
+        body = b'{"ne": 4, "nparts": 8}'
+        req = parse(
+            b"POST /partition HTTP/1.1\r\nContent-Length: "
+            + str(len(body)).encode()
+            + b"\r\n\r\n"
+            + body
+        )
+        assert req.method == "POST"
+        assert req.body == body
+
+    def test_query_string_stripped(self):
+        req = parse(b"GET /metrics?format=prom HTTP/1.1\r\n\r\n")
+        assert req.path == "/metrics"
+
+    def test_connection_close(self):
+        req = parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+        assert not req.keep_alive
+
+    def test_clean_eof_returns_none(self):
+        assert parse(b"") is None
+
+    def test_bad_request_line(self):
+        with pytest.raises(HTTPError) as err:
+            parse(b"NOT A REQUEST\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_bad_version(self):
+        with pytest.raises(HTTPError) as err:
+            parse(b"GET / HTTP/2.0\r\n\r\n")
+        assert err.value.status == 400
+
+    def test_post_without_length(self):
+        with pytest.raises(HTTPError) as err:
+            parse(b"POST /partition HTTP/1.1\r\n\r\n")
+        assert err.value.status == 411
+
+    def test_chunked_rejected(self):
+        with pytest.raises(HTTPError) as err:
+            parse(
+                b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n"
+            )
+        assert err.value.status == 501
+
+    def test_oversized_body_rejected(self):
+        with pytest.raises(HTTPError) as err:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n")
+        assert err.value.status == 413
+
+    def test_truncated_body(self):
+        with pytest.raises(HTTPError) as err:
+            parse(b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc")
+        assert err.value.status == 400
+
+    def test_malformed_header(self):
+        with pytest.raises(HTTPError) as err:
+            parse(b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n")
+        assert err.value.status == 400
+
+
+class TestRenderResponse:
+    def test_roundtrip_fields(self):
+        raw = render_response(200, b'{"ok": 1}', headers={"Retry-After": "1"})
+        head, _, body = raw.partition(b"\r\n\r\n")
+        assert head.startswith(b"HTTP/1.1 200 OK\r\n")
+        assert b"Content-Length: 9" in head
+        assert b"Retry-After: 1" in head
+        assert b"Connection: keep-alive" in head
+        assert body == b'{"ok": 1}'
+
+    def test_close_header(self):
+        raw = render_response(503, b"{}", keep_alive=False)
+        assert b"Connection: close" in raw
+
+    def test_error_body_structure(self):
+        exc = HTTPError(503, "overloaded", "busy", {"Retry-After": "2"})
+        data = json.loads(error_body(exc))
+        assert data["error"] == {
+            "status": 503,
+            "code": "overloaded",
+            "message": "busy",
+        }

@@ -114,3 +114,62 @@ class TestParallelExecution:
         assert stats.compute_s > 0
         assert 0 < stats.worker_utilization <= 1
         assert stats.throughput > 0
+
+
+class TestLifecycle:
+    def test_close_is_idempotent(self):
+        engine = PartitionEngine()
+        engine.run([PartitionRequest(ne=2, nparts=4)])
+        assert not engine.closed
+        engine.close()
+        engine.close()
+        assert engine.closed
+
+    def test_run_after_close_is_a_clear_error(self):
+        engine = PartitionEngine()
+        engine.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.run([PartitionRequest(ne=2, nparts=4)])
+
+    def test_executor_after_close_is_a_clear_error(self):
+        engine = PartitionEngine()
+        engine.close()
+        with pytest.raises(RuntimeError, match="closed"):
+            engine.executor()
+
+    def test_context_manager_closes(self):
+        with PartitionEngine() as engine:
+            engine.run([PartitionRequest(ne=2, nparts=4)])
+        assert engine.closed
+
+    def test_executor_is_process_backed_even_at_jobs_1(self):
+        with PartitionEngine(jobs=1) as engine:
+            pool = engine.executor()
+            assert pool is engine.executor()  # one pool, reused
+            import os
+
+            worker_pid = pool.submit(os.getpid).result()
+            assert worker_pid != os.getpid()
+
+    def test_warm_forks_all_workers_up_front(self):
+        with PartitionEngine(jobs=2) as engine:
+            assert engine.warm() == 2
+
+    def test_concurrent_executor_calls_share_one_pool(self):
+        import threading
+
+        engine = PartitionEngine(jobs=2)
+        pools = []
+        barrier = threading.Barrier(4)
+
+        def grab():
+            barrier.wait()
+            pools.append(engine.executor())
+
+        threads = [threading.Thread(target=grab) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(set(map(id, pools))) == 1
+        engine.close()
