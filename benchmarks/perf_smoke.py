@@ -65,6 +65,27 @@ def measure() -> dict[str, float]:
             lambda m=method: part_graph(graph, NPARTS, m)
         )
     timings["sfc"] = _best_of(lambda: sfc_partition(NE, NPARTS))
+
+    # Raw keying rates behind the streaming cut (uint64 key path).
+    from repro.cubesphere.curve import element_keys
+    from repro.sfc.keys import morton_keys
+
+    gids = np.arange(6 * NE * NE, dtype=np.int64)
+    iy, ix = np.divmod(gids % (NE * NE), NE)
+    element_keys(NE, gids=gids)  # warm (chain + schedule tables)
+    inner = 100
+
+    def sfc_key_loop() -> None:
+        for _ in range(inner):
+            element_keys(NE, gids=gids)
+
+    timings["sfc_key"] = _best_of(sfc_key_loop) / inner
+
+    def morton_key_loop() -> None:
+        for _ in range(inner):
+            morton_keys(ix, iy, NE, check=False)
+
+    timings["morton_key"] = _best_of(morton_key_loop) / inner
     geom = build_geometry(NE, 4)
     pmap = build_point_map(geom)
     part = sfc_partition(NE, NPARTS)

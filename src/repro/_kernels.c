@@ -549,3 +549,109 @@ int64_t dss_apply(
     }
     return 0;
 }
+
+/* ------------------------------------------------------------------ */
+/* Space-filling-curve keying                                          */
+/* ------------------------------------------------------------------ */
+
+/* Per-level table layout (stride 66 int64 slots per refinement level,
+ * coarsest level first; built by repro.sfc.keys.schedule_tables):
+ *
+ *   [0]          radix r (2 or 3)
+ *   [1]          child block size s at this level
+ *   [2]          log2(s) when s is a power of two, else -1
+ *   [3  + b]     visit rank of child block b = bx*3 + by
+ *   [12 + i]     inverse-transform mxx of child i
+ *   [21 + i]     inverse-transform mxy
+ *   [30 + i]     inverse-transform myx
+ *   [39 + i]     inverse-transform myy
+ *   [48 + i]     1 when mxx + mxy < 0 (the s-1 x-offset applies)
+ *   [57 + i]     1 when myx + myy < 0 (the s-1 y-offset applies)
+ *
+ * Decode contract (bit-identity with repro.sfc.keys._keys_numpy and
+ * the generator's visit order): per level, the block coordinates
+ * identify the child, the child's rank digit extends the mixed-radix
+ * key, and the child's inverse D4 transform maps the cell into the
+ * child's canonical frame.  All arithmetic is exact int64; keys are
+ * accumulated in uint64 (n*n can reach 2^62 before overflow).
+ */
+#define SFC_STRIDE 66
+
+int64_t sfc_keys(
+    int64_t npts, int64_t nlevels, const int64_t *tables,
+    int64_t n, const int64_t *x, const int64_t *y, uint64_t *keys)
+{
+    (void)n;
+    for (int64_t p = 0; p < npts; p++) {
+        int64_t u = x[p], v = y[p];
+        uint64_t key = 0;
+        const int64_t *lv = tables;
+        for (int64_t l = 0; l < nlevels; l++, lv += SFC_STRIDE) {
+            const int64_t r = lv[0], s = lv[1], shift = lv[2];
+            int64_t bx, by;
+            if (shift >= 0) {
+                bx = u >> shift;
+                by = v >> shift;
+            } else {
+                bx = u / s;
+                by = v / s;
+            }
+            const int64_t i = lv[3 + bx * 3 + by];
+            key = key * (uint64_t)(r * r) + (uint64_t)i;
+            u -= bx * s;
+            v -= by * s;
+            const int64_t un =
+                lv[12 + i] * u + lv[21 + i] * v + lv[48 + i] * (s - 1);
+            v = lv[30 + i] * u + lv[39 + i] * v + lv[57 + i] * (s - 1);
+            u = un;
+        }
+        keys[p] = key;
+    }
+    return 0;
+}
+
+/* Global cubed-sphere keys straight from element ids: gid -> face +
+ * face-local (ix, iy) -> chain-oriented (u, v) -> face-local curve key
+ * (same per-level decode as sfc_keys) + the face's chain offset.
+ * rank[face] is the face's position in the canonical chain; coef holds
+ * six (mxx, mxy, myx, myy, xneg, yneg) rows — the inverse orientation
+ * of each face.  Fusing the face decode keeps the whole pipeline in
+ * registers (the vectorized fallback pays ~10 array passes for it). */
+int64_t sfc_face_keys(
+    int64_t npts, int64_t nlevels, const int64_t *tables, int64_t ne,
+    const int64_t *rank, const int64_t *coef,
+    const int64_t *gids, uint64_t *keys)
+{
+    const int64_t n2 = ne * ne;
+    for (int64_t p = 0; p < npts; p++) {
+        const int64_t gid = gids[p];
+        const int64_t face = gid / n2, rem = gid % n2;
+        const int64_t iy = rem / ne, ix = rem % ne;
+        const int64_t *c = coef + 6 * face;
+        int64_t u = c[0] * ix + c[1] * iy + c[4] * (ne - 1);
+        int64_t v = c[2] * ix + c[3] * iy + c[5] * (ne - 1);
+        uint64_t key = 0;
+        const int64_t *lv = tables;
+        for (int64_t l = 0; l < nlevels; l++, lv += SFC_STRIDE) {
+            const int64_t r = lv[0], s = lv[1], shift = lv[2];
+            int64_t bx, by;
+            if (shift >= 0) {
+                bx = u >> shift;
+                by = v >> shift;
+            } else {
+                bx = u / s;
+                by = v / s;
+            }
+            const int64_t i = lv[3 + bx * 3 + by];
+            key = key * (uint64_t)(r * r) + (uint64_t)i;
+            u -= bx * s;
+            v -= by * s;
+            const int64_t un =
+                lv[12 + i] * u + lv[21 + i] * v + lv[48 + i] * (s - 1);
+            v = lv[30 + i] * u + lv[39 + i] * v + lv[57 + i] * (s - 1);
+            u = un;
+        }
+        keys[p] = key + (uint64_t)rank[face] * (uint64_t)n2;
+    }
+    return 0;
+}

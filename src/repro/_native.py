@@ -137,6 +137,25 @@ def load() -> ctypes.CDLL | None:
             ctypes.c_void_p,  # field
             ctypes.c_void_p, ctypes.c_void_p,  # num scratch, out
         ]
+        lib.sfc_keys.restype = ctypes.c_int64
+        lib.sfc_keys.argtypes = [
+            ctypes.c_int64,  # npts
+            ctypes.c_int64,  # nlevels
+            _I64P,  # packed level tables (nlevels x 66)
+            ctypes.c_int64,  # domain side n
+            _I64P, _I64P,  # x, y coordinates
+            ctypes.POINTER(ctypes.c_uint64),  # keys (out)
+        ]
+        lib.sfc_face_keys.restype = ctypes.c_int64
+        lib.sfc_face_keys.argtypes = [
+            ctypes.c_int64,  # npts
+            ctypes.c_int64,  # nlevels
+            _I64P,  # packed level tables (nlevels x 66)
+            ctypes.c_int64,  # ne (face side length)
+            _I64P, _I64P,  # chain rank (6), chain coef (6 x 6)
+            _I64P,  # gids
+            ctypes.POINTER(ctypes.c_uint64),  # keys (out)
+        ]
     except AttributeError:
         return None
     return lib

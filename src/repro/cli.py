@@ -16,7 +16,10 @@ Subcommands mirror the library's main workflows:
 * ``metrics``   — report LB/edgecut/TCV histograms and counters from a
   saved metrics export, or serve a request file and report live;
 * ``methods``   — list the registered partitioners (names, families,
-  capability flags) straight from the partitioner registry;
+  capability flags) straight from the partitioner registry; the
+  ``continuous`` column separates face-chaining curves (``sfc``) from
+  discontinuous key cuts (``morton``, which therefore takes no
+  refinement schedule);
 * ``cache``     — inspect the partition cache: the pipeline's stage
   versions and, given ``--cache-dir``, entry freshness (stale entries
   are recomputed, never served);
@@ -725,8 +728,8 @@ def _cmd_methods(args: argparse.Namespace) -> int:
     from .partition.registry import specs
 
     columns = [
-        "method", "family", "weighted", "seeded", "schedule", "ne constraint",
-        "description",
+        "method", "family", "weighted", "seeded", "schedule", "continuous",
+        "ne constraint", "description",
     ]
     rows = [
         [
@@ -735,6 +738,7 @@ def _cmd_methods(args: argparse.Namespace) -> int:
             "yes" if s.weighted else "no",
             "yes" if s.uses_seed else "no",
             "yes" if s.supports_schedule else "no",
+            "yes" if s.continuous else "no",
             s.ne_constraint or "any",
             s.description,
         ]

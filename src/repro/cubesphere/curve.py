@@ -25,14 +25,22 @@ from itertools import permutations
 
 import numpy as np
 
-from ..sfc.factorization import default_schedule
+from ..sfc.factorization import default_schedule, schedule_size
 from ..sfc.generator import generate_curve
+from ..sfc.keys import KEY_DTYPE, _face_keys_c, curve_keys, schedule_tables
 from ..sfc.transforms import ALL_TRANSFORMS, Transform
 from ..telemetry import span
 from .mesh import CubedSphereMesh, cubed_sphere_mesh
 from .topology import NUM_FACES
 
-__all__ = ["CubedSphereCurve", "cubed_sphere_curve", "FaceChain", "find_face_chain"]
+__all__ = [
+    "CubedSphereCurve",
+    "cubed_sphere_curve",
+    "element_keys",
+    "face_chain",
+    "FaceChain",
+    "find_face_chain",
+]
 
 
 @dataclass(frozen=True)
@@ -125,6 +133,97 @@ def find_face_chain(mesh: CubedSphereMesh) -> FaceChain:
     raise RuntimeError("no continuous face chaining found (topology bug?)")
 
 
+@lru_cache(maxsize=1)
+def face_chain() -> FaceChain:
+    """The canonical face chain, independent of resolution.
+
+    Entry/exit cells of a face-local curve are corner cells whose
+    cross-edge alignment does not depend on ``Ne`` (the transforms act
+    affinely in the face size), so the deterministic search returns the
+    same chain for every ``ne >= 2`` — validated by
+    ``tests/cubesphere/test_keys.py`` — and it can be computed once on
+    a tiny mesh.  At ``ne = 1`` every transform fixes the single cell,
+    so the canonical chain's *face order* (which the search also
+    reproduces there) is all that matters and keys still match.
+    """
+    return find_face_chain(cubed_sphere_mesh(2))
+
+
+@lru_cache(maxsize=1)
+def _chain_key_tables() -> tuple[np.ndarray, np.ndarray]:
+    """Per-face decode tables for the canonical chain.
+
+    Returns:
+        ``(rank, coef)``: ``rank[face]`` is the face's position in the
+        chain; ``coef[face]`` holds the face's *inverse* orientation as
+        ``(mxx, mxy, myx, myy, xneg, yneg)`` — the signed-permutation
+        matrix plus the flags marking which coordinates need the
+        ``n - 1`` offset.
+    """
+    chain = face_chain()
+    rank = np.empty(NUM_FACES, dtype=np.int64)
+    coef = np.empty((NUM_FACES, 6), dtype=np.int64)
+    for pos, (face, tr) in enumerate(zip(chain.faces, chain.transforms)):
+        rank[face] = pos
+        inv = tr.inverse()
+        coef[face] = (
+            inv.mxx, inv.mxy, inv.myx, inv.myy,
+            1 if inv.mxx + inv.mxy < 0 else 0,
+            1 if inv.myx + inv.myy < 0 else 0,
+        )
+    rank.setflags(write=False)
+    coef.setflags(write=False)
+    return rank, coef
+
+
+def element_keys(
+    ne: int,
+    schedule: str | None = None,
+    gids: np.ndarray | None = None,
+) -> np.ndarray:
+    """Global curve positions of elements, straight from their ids.
+
+    Bit-identical to ``cubed_sphere_curve(ne, schedule).position[gids]``
+    but computed with the uint64 key path (:mod:`repro.sfc.keys`): no
+    mesh, no materialized curve — O(levels) vectorized passes over the
+    requested ids, so callers can stream a huge mesh in chunks with
+    O(chunk) peak memory.
+
+    Args:
+        ne: Elements per cube-face edge (must be ``2^n * 3^m``).
+        schedule: Face-local refinement schedule (coarsest first);
+            defaults to the paper's Peano-first schedule.
+        gids: Element ids to key (any shape); all elements when omitted.
+
+    Returns:
+        uint64 array of curve positions, same shape as ``gids``.
+    """
+    if schedule is None:
+        schedule = default_schedule(ne)
+    elif schedule_size(schedule) != ne:
+        raise ValueError(
+            f"schedule {schedule!r} generates size {schedule_size(schedule)}, "
+            f"mesh has ne={ne}"
+        )
+    n2 = ne * ne
+    if gids is None:
+        gids = np.arange(6 * n2, dtype=np.int64)
+    gids = np.asarray(gids, dtype=np.int64)
+    rank, coef = _chain_key_tables()
+    shape = gids.shape
+    flat = np.ascontiguousarray(gids, dtype=np.int64).ravel()
+    keys = _face_keys_c(flat, ne, schedule_tables(schedule), rank, coef)
+    if keys is None:
+        face, rem = np.divmod(flat, n2)
+        iy, ix = np.divmod(rem, ne)
+        c = coef[face]
+        u = c[..., 0] * ix + c[..., 1] * iy + c[..., 4] * (ne - 1)
+        v = c[..., 2] * ix + c[..., 3] * iy + c[..., 5] * (ne - 1)
+        keys = curve_keys(u, v, schedule=schedule, check=False)
+        keys += rank[face].astype(KEY_DTYPE) * np.uint64(n2)
+    return keys.reshape(shape)
+
+
 @dataclass(frozen=True)
 class CubedSphereCurve:
     """The global space-filling curve over a cubed-sphere mesh.
@@ -190,13 +289,17 @@ def build_curve(
         )
     chain = find_face_chain(mesh)
     n = mesh.ne
+    # int32 halves the persistent curve memory whenever ids fit;
+    # int64 gid arithmetic guards against overflow at huge ``ne``.
+    dtype = np.int32 if mesh.nelem < 2**31 else np.int64
+    coords64 = local.coords.astype(np.int64, copy=False)
     pieces = []
     for face, tr in zip(chain.faces, chain.transforms):
-        cells = tr.apply_points(local.coords, n)
+        cells = tr.apply_points(coords64, n)
         pieces.append(mesh.gids(face, cells[:, 0], cells[:, 1]))
-    order = np.concatenate(pieces)
-    position = np.empty(mesh.nelem, dtype=np.int64)
-    position[order] = np.arange(mesh.nelem, dtype=np.int64)
+    order = np.concatenate(pieces).astype(dtype, copy=False)
+    position = np.empty(mesh.nelem, dtype=dtype)
+    position[order] = np.arange(mesh.nelem, dtype=dtype)
     return CubedSphereCurve(
         mesh=mesh, schedule=schedule, chain=chain, order=order, position=position
     )

@@ -41,6 +41,8 @@ from .metrics import (
 from .sfc import (
     cut_positions_uniform,
     cut_positions_weighted,
+    keyed_cut,
+    morton_partition,
     partition_curve,
     sfc_partition,
 )
@@ -75,8 +77,10 @@ __all__ = [
     "cut_positions_weighted",
     "edgecut",
     "evaluate_partition",
+    "keyed_cut",
     "load_balance",
     "migration_cost",
+    "morton_partition",
     "repartition_curve",
     "partition_curve",
     "random_partition",

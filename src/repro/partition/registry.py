@@ -130,6 +130,12 @@ class Partitioner:
             ``(ne, nparts, schedule)``; seeded methods are pure
             functions of those plus ``seed``).
         supports_schedule: Accepts a refinement schedule.
+        continuous: The method traverses the mesh along a single
+            *continuous* curve (consecutive elements are edge
+            neighbors), the property that lets the paper's SFC chain
+            all six cube faces and keep segments connected.  Morton /
+            Z-order is the flagged counterexample: its jumps cannot be
+            chained, so it is registered ``continuous=False``.
         ne_constraint: Human-readable admissible-``ne`` description.
         check_ne: Predicate for admissible ``ne`` (``None``: any).
     """
@@ -141,6 +147,7 @@ class Partitioner:
     weighted: bool = False
     uses_seed: bool = False
     supports_schedule: bool = False
+    continuous: bool = False
     ne_constraint: str | None = None
     check_ne: Callable[[int], bool] | None = None
 
@@ -171,6 +178,13 @@ class Partitioner:
                 f"got {nparts}"
             )
         if schedule is not None and not self.supports_schedule:
+            if self.family == "sfc" and not self.continuous:
+                raise CapabilityError(
+                    f"method {self.name!r} is discontinuous (its key "
+                    f"order jumps, so it cannot chain cube faces into "
+                    f"a single refined curve) and does not accept a "
+                    f"refinement schedule (schedule={schedule!r})"
+                )
             raise CapabilityError(
                 f"method {self.name!r} does not accept a refinement "
                 f"schedule (schedule={schedule!r}); only methods with "
@@ -276,6 +290,16 @@ def _metis_builder(method: str) -> Callable[[PartitionProblem], Partition]:
     return build
 
 
+def _build_morton(p: PartitionProblem) -> Partition:
+    from .sfc import morton_partition
+
+    return morton_partition(p.ne, p.nparts, weights=p.weights)
+
+
+def _morton_admissible(ne: int) -> bool:
+    return ne >= 1 and ne & (ne - 1) == 0
+
+
 def _build_rcb(p: PartitionProblem) -> Partition:
     from .geometric import rcb_partition
 
@@ -313,8 +337,18 @@ register(Partitioner(
     family="sfc",
     weighted=True,
     supports_schedule=True,
+    continuous=True,
     ne_constraint="ne = 2^n * 3^m",
     check_ne=_sfc_admissible,
+))
+register(Partitioner(
+    name="morton",
+    build=_build_morton,
+    description="Morton (Z-order) key cut; discontinuous, cannot chain faces",
+    family="sfc",
+    weighted=True,
+    ne_constraint="ne = 2^n",
+    check_ne=_morton_admissible,
 ))
 register(Partitioner(
     name="rb",

@@ -13,21 +13,45 @@ Two cutting rules are provided:
 * :func:`cut_positions_weighted` — greedy prefix-sum cuts for weighted
   elements, the standard SFC generalization used by adaptive codes
   (Pilkington & Baden), exposed for the weighted-load extension.
+
+Two cutting *paths* apply the rules:
+
+* :func:`partition_curve` — cut a materialized
+  :class:`~repro.cubesphere.curve.CubedSphereCurve` (the paper's
+  construction, O(K) curve arrays);
+* :func:`keyed_cut` / :func:`sfc_partition` — the scalable path per
+  Borrell et al.: stream element ids in chunks, map each chunk straight
+  to uint64 curve keys (:func:`repro.cubesphere.curve.element_keys`),
+  and bucket the keys against the prefix-sum cut bounds.  Peak memory
+  is O(chunk) beyond the assignment itself, and the result is
+  bit-identical to cutting the materialized curve (golden-tested).
 """
 
 from __future__ import annotations
 
+from typing import Callable
+
 import numpy as np
 
-from ..cubesphere.curve import CubedSphereCurve, cubed_sphere_curve
+from ..cubesphere.curve import CubedSphereCurve, cubed_sphere_curve, element_keys
+from ..sfc.factorization import factorize_2_3
+from ..sfc.keys import morton_keys
+from ..telemetry import span
 from .base import Partition
 
 __all__ = [
+    "DEFAULT_CHUNK",
     "cut_positions_uniform",
     "cut_positions_weighted",
+    "keyed_cut",
+    "morton_partition",
     "partition_curve",
     "sfc_partition",
 ]
+
+#: Elements keyed per chunk on the streaming cut path (~24 MB of
+#: transient arrays per chunk at int64/uint64 widths).
+DEFAULT_CHUNK = 1 << 20
 
 
 def cut_positions_uniform(ncells: int, nparts: int) -> np.ndarray:
@@ -119,13 +143,74 @@ def partition_curve(
     return Partition(assignment, nparts=nparts, method="sfc")
 
 
+def keyed_cut(
+    key_fn: Callable[[np.ndarray], np.ndarray],
+    ncells: int,
+    nparts: int,
+    weights: np.ndarray | None = None,
+    chunk: int | None = None,
+    method: str = "sfc",
+) -> Partition:
+    """Cut a curve by streaming its keys — never materializing it.
+
+    The keys of ``[0, ncells)`` must be a bijection onto ``[0, ncells)``
+    (each element's position along the traversal).  Elements are keyed
+    in chunks and bucketed against the cut bounds with a binary search,
+    so peak memory is O(chunk) beyond the assignment array itself —
+    the chunked keying + prefix-sum cutting pass of Borrell et al.
+
+    Args:
+        key_fn: Maps an array of element ids to their uint64 keys.
+        ncells: Total element count.
+        nparts: Number of segments.
+        weights: Optional per-element (id-indexed) weights; cuts then
+            balance weight instead of element count (one extra chunked
+            pass scatters the weights into key order first).
+        chunk: Elements keyed per pass (default :data:`DEFAULT_CHUNK`).
+        method: Label stamped on the produced partition.
+
+    Returns:
+        The :class:`Partition`; bit-identical to cutting the
+        materialized traversal with the same rule.
+    """
+    chunk = DEFAULT_CHUNK if chunk is None else int(chunk)
+    if chunk < 1:
+        raise ValueError(f"chunk must be >= 1, got {chunk}")
+    with span("keyed_cut", "sfc", ncells=ncells, nparts=nparts, method=method):
+        if weights is None:
+            bounds = cut_positions_uniform(ncells, nparts)
+        else:
+            weights = np.asarray(weights, dtype=np.float64)
+            if len(weights) != ncells:
+                raise ValueError("weights must have one entry per element")
+            along_curve = np.empty(ncells, dtype=np.float64)
+            for lo in range(0, ncells, chunk):
+                ids = np.arange(lo, min(lo + chunk, ncells), dtype=np.int64)
+                along_curve[key_fn(ids)] = weights[ids]
+            bounds = cut_positions_weighted(along_curve, nparts)
+        assignment = np.empty(ncells, dtype=np.int64)
+        for lo in range(0, ncells, chunk):
+            ids = np.arange(lo, min(lo + chunk, ncells), dtype=np.int64)
+            keys = key_fn(ids).astype(np.int64, copy=False)
+            assignment[lo : lo + len(ids)] = (
+                np.searchsorted(bounds, keys, side="right") - 1
+            )
+        return Partition(assignment, nparts=nparts, method=method)
+
+
 def sfc_partition(
     ne: int,
     nparts: int,
     schedule: str | None = None,
     weights: np.ndarray | None = None,
+    chunk: int | None = None,
 ) -> Partition:
     """Convenience wrapper: SFC-partition the cubed-sphere at ``ne``.
+
+    Uses the streaming key path (:func:`keyed_cut`): the global curve
+    is never materialized, so resolutions far beyond the paper's
+    (Ne >= 1024, K in the millions) partition in O(chunk) peak memory.
+    Bit-identical to ``partition_curve(cubed_sphere_curve(ne), ...)``.
 
     Args:
         ne: Elements per cube-face edge (must be ``2^n * 3^m``).
@@ -133,6 +218,52 @@ def sfc_partition(
         schedule: Optional face-local refinement schedule (for the
             refinement-order ablation).
         weights: Optional per-element weights.
+        chunk: Elements keyed per streaming pass.
     """
-    curve = cubed_sphere_curve(ne, schedule)
-    return partition_curve(curve, nparts, weights)
+    factorize_2_3(ne)  # surface inadmissible sizes before any work
+    return keyed_cut(
+        lambda ids: element_keys(ne, schedule, gids=ids),
+        6 * ne * ne,
+        nparts,
+        weights=weights,
+        chunk=chunk,
+        method="sfc",
+    )
+
+
+def morton_partition(
+    ne: int,
+    nparts: int,
+    weights: np.ndarray | None = None,
+    chunk: int | None = None,
+) -> Partition:
+    """Partition by cutting the per-face Morton (Z-order) traversal.
+
+    Faces are visited in storage order with the identity orientation —
+    Morton's "Z" jumps make it *discontinuous*, so no face chaining can
+    produce a single continuous curve (the curve-baselines ablation
+    demonstrates this), and segments may straddle distant blocks.
+    Registered as the ``morton`` method for exactly that comparison.
+
+    Args:
+        ne: Elements per cube-face edge; must be a power of two.
+        nparts: Number of processors.
+        weights: Optional per-element weights.
+        chunk: Elements keyed per streaming pass.
+    """
+    if ne < 1 or ne & (ne - 1):
+        raise ValueError(
+            f"morton partitioning needs ne = 2^n (bit interleave), got {ne}"
+        )
+    n2 = ne * ne
+
+    def key_fn(ids: np.ndarray) -> np.ndarray:
+        face, rem = np.divmod(ids, n2)
+        iy, ix = np.divmod(rem, ne)
+        keys = morton_keys(ix, iy, ne, check=False)
+        keys += face.astype(np.uint64) * np.uint64(n2)
+        return keys
+
+    return keyed_cut(
+        key_fn, 6 * n2, nparts, weights=weights, chunk=chunk, method="morton"
+    )

@@ -420,6 +420,7 @@ class PartitionServer:
                 "weighted": s.weighted,
                 "seeded": s.uses_seed,
                 "schedule": s.supports_schedule,
+                "continuous": s.continuous,
                 "ne_constraint": s.ne_constraint,
                 "description": s.description,
             }

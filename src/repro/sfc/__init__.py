@@ -34,6 +34,13 @@ from .generator import (
     hilbert_peano_curve,
     peano_curve,
 )
+from .keys import (
+    KEY_DTYPE,
+    KeyTables,
+    curve_keys,
+    morton_keys,
+    schedule_tables,
+)
 from .transforms import ALL_TRANSFORMS, IDENTITY, Transform
 
 __all__ = [
@@ -42,6 +49,8 @@ __all__ = [
     "CurveTemplate",
     "HILBERT",
     "IDENTITY",
+    "KEY_DTYPE",
+    "KeyTables",
     "MEANDER_PEANO",
     "SpaceFillingCurve",
     "TEMPLATES",
@@ -50,6 +59,7 @@ __all__ = [
     "all_schedules",
     "analyze_curve",
     "boustrophedon_curve",
+    "curve_keys",
     "default_schedule",
     "factorize_2_3",
     "generate_curve",
@@ -58,9 +68,11 @@ __all__ = [
     "is_admissible_size",
     "is_continuous_ordering",
     "morton_curve",
+    "morton_keys",
     "neighbor_stretch",
     "peano_curve",
     "schedule_size",
+    "schedule_tables",
     "segment_bounding_boxes",
     "segment_surface_to_volume",
     "template_for_radix",

@@ -101,20 +101,32 @@ def _expand(schedule: str) -> np.ndarray:
 
     The schedule is consumed from the *finest* level outwards: start
     with the single-cell curve and repeatedly wrap it in one
-    refinement step, ending with the coarsest (first) entry.
+    refinement step, ending with the coarsest (first) entry.  The final
+    buffer is allocated once up front and every refinement step expands
+    the child curve in place — child block 0 always sits at the start
+    of the buffer, so blocks are written back-to-front and block 0 is
+    transformed last, when the other blocks no longer read from it.
+    int32 coordinates halve the curve's memory whenever positions fit.
     """
-    coords = np.zeros((1, 2), dtype=np.int64)
+    n = schedule_size(schedule)
+    dtype = np.int32 if n * n < 2**31 else np.int64
+    coords = np.empty((n * n, 2), dtype=dtype)
+    coords[0] = 0
     size = 1
+    count = 1
     for code in reversed(schedule):
         tpl: CurveTemplate = TEMPLATES[code]
         r = tpl.radix
-        pieces = []
-        for (bx, by), tr in zip(tpl.blocks, tpl.transforms):
-            part = tr.apply_points(coords, size)
-            part = part + np.array([bx * size, by * size], dtype=np.int64)
-            pieces.append(part)
-        coords = np.concatenate(pieces, axis=0)
+        sub = coords[:count]
+        for i in range(r * r - 1, -1, -1):
+            bx, by = tpl.blocks[i]
+            tr = tpl.transforms[i]
+            x, y = tr.apply(sub[:, 0], sub[:, 1], size)
+            dst = coords[i * count : (i + 1) * count]
+            dst[:, 0] = x + bx * size
+            dst[:, 1] = y + by * size
         size *= r
+        count *= r * r
     return coords
 
 
@@ -127,8 +139,9 @@ def _generate_cached(schedule: str) -> SpaceFillingCurve:
     # Only cold builds reach this span (the lru_cache answers repeats).
     with span("generate_curve", "sfc", schedule=schedule, size=n):
         coords = _expand(schedule)
-        index = np.empty((n, n), dtype=np.int64)
-        index[coords[:, 0], coords[:, 1]] = np.arange(n * n, dtype=np.int64)
+        dtype = coords.dtype
+        index = np.empty((n, n), dtype=dtype)
+        index[coords[:, 0], coords[:, 1]] = np.arange(n * n, dtype=dtype)
         return SpaceFillingCurve(
             schedule=schedule, size=n, coords=coords, index=index
         )

@@ -1,0 +1,330 @@
+"""Bitwise uint64 SFC keying: coordinates → curve positions, no curve.
+
+:func:`repro.sfc.generator.generate_curve` materializes the full visit
+order — an ``(n*n, 2)`` coordinate array plus an ``(n, n)`` inverse —
+before anything can be partitioned.  That is fine at the paper's sizes
+(K ≤ 1944) but becomes the memory- and time-bound step long before the
+tens-of-millions-element meshes the partition service targets.  This
+module computes each cell's curve position *directly from its
+coordinates*, the way Cubism's bit-twiddling Hilbert transpose and
+Cornerstone's ``sfcKey()`` encoding do (and Borrell et al.'s parallel
+SFC partitioner assumes): a vectorized per-level decode of the
+refinement schedule using integer table lookups, O(levels) passes over
+the coordinate arrays and O(1) memory beyond them.
+
+The decode inverts the generator's recursion one level at a time.  At a
+level of radix ``r`` with child block size ``s``, the block coordinates
+``(x // s, y // s)`` identify which child the cell lies in; the child's
+visit rank contributes ``rank * s*s`` to the key; and the child's
+inverse D4 transform maps the cell into the child's canonical frame for
+the next level.  Composing the per-level inverse transforms on the fly
+is exactly the transform composition the generator performs — run
+backwards — so the resulting key is *bit-identical* to the curve
+position (golden-tested at every admissible size).
+
+Three implementations share the packed level tables:
+
+* a C kernel (``sfc_keys`` in ``_kernels.c``, loaded via
+  :mod:`repro._native`, disabled by ``REPRO_NO_CKERNELS=1``);
+* a generic vectorized NumPy decode (any Hilbert/m-Peano/Hilbert-Peano
+  schedule, ~10 array passes per level);
+* the classic branch-free Hilbert transpose (pure power-of-two sizes
+  only — every level is radix 2, so the rank table degenerates to
+  ``(3*rx) ^ ry`` and the inverse transforms to a masked swap).
+
+All three return identical uint64 keys.
+"""
+
+from __future__ import annotations
+
+import ctypes
+from dataclasses import dataclass
+from functools import lru_cache
+
+import numpy as np
+
+from .._native import LIB, as_i64p
+from .curves import TEMPLATES, CurveTemplate
+from .factorization import default_schedule, schedule_size
+
+__all__ = [
+    "KEY_DTYPE",
+    "KeyTables",
+    "curve_keys",
+    "morton_keys",
+    "schedule_tables",
+]
+
+#: Dtype of every key array this module produces.
+KEY_DTYPE = np.dtype(np.uint64)
+
+_U64P = ctypes.POINTER(ctypes.c_uint64)
+
+# Packed level-table layout, shared with the C kernel (see the
+# ``sfc_keys`` comment in ``_kernels.c``).  One row of ``_STRIDE``
+# int64 slots per refinement level, coarsest first:
+#
+#   [_OFF_R]      radix r of this level (2 or 3)
+#   [_OFF_S]      child block size s = n / (product of radices so far)
+#   [_OFF_SHIFT]  log2(s) when s is a power of two, else -1 (the C
+#                 kernel divides by shifting whenever it can)
+#   [_OFF_RANK  + bx*3 + by]  visit rank of child block (bx, by)
+#   [_OFF_MXX.._OFF_MYY + i]  inverse-transform matrix of child i
+#   [_OFF_XNEG/_OFF_YNEG + i] 1 when the row of the inverse matrix
+#                 sums negative (the ``s - 1`` offset applies)
+#
+# Block coordinates are indexed with a fixed stride of 3 (the maximum
+# radix) so the layout is radix-independent.
+_OFF_R = 0
+_OFF_S = 1
+_OFF_SHIFT = 2
+_OFF_RANK = 3
+_OFF_MXX = 12
+_OFF_MXY = 21
+_OFF_MYX = 30
+_OFF_MYY = 39
+_OFF_XNEG = 48
+_OFF_YNEG = 57
+_STRIDE = 66
+
+
+@dataclass(frozen=True)
+class KeyTables:
+    """Packed per-level decode tables for one refinement schedule.
+
+    Attributes:
+        schedule: The refinement schedule (coarsest level first).
+        size: Domain side length ``n = schedule_size(schedule)``.
+        tables: ``(nlevels, _STRIDE)`` int64 array in the layout above.
+        pure_hilbert: Every level is radix 2 (enables the branch-free
+            bitwise transpose fast path).
+    """
+
+    schedule: str
+    size: int
+    tables: np.ndarray
+    pure_hilbert: bool
+
+    def __post_init__(self) -> None:
+        self.tables.setflags(write=False)
+
+    @property
+    def nlevels(self) -> int:
+        return self.tables.shape[0]
+
+
+@lru_cache(maxsize=128)
+def schedule_tables(schedule: str) -> KeyTables:
+    """Build (and cache) the packed decode tables for a schedule."""
+    for code in schedule:
+        if code not in ("H", "P"):
+            raise ValueError(f"unknown refinement code {code!r}")
+    n = schedule_size(schedule)
+    tables = np.zeros((len(schedule), _STRIDE), dtype=np.int64)
+    s = n
+    for lvl, code in enumerate(schedule):
+        tpl: CurveTemplate = TEMPLATES[code]
+        r = tpl.radix
+        s //= r
+        row = tables[lvl]
+        row[_OFF_R] = r
+        row[_OFF_S] = s
+        row[_OFF_SHIFT] = s.bit_length() - 1 if s & (s - 1) == 0 else -1
+        for i, (bx, by) in enumerate(tpl.blocks):
+            row[_OFF_RANK + bx * 3 + by] = i
+        for i, tr in enumerate(tpl.transforms):
+            inv = tr.inverse()
+            row[_OFF_MXX + i] = inv.mxx
+            row[_OFF_MXY + i] = inv.mxy
+            row[_OFF_MYX + i] = inv.myx
+            row[_OFF_MYY + i] = inv.myy
+            row[_OFF_XNEG + i] = 1 if inv.mxx + inv.mxy < 0 else 0
+            row[_OFF_YNEG + i] = 1 if inv.myx + inv.myy < 0 else 0
+    return KeyTables(
+        schedule=schedule,
+        size=n,
+        tables=np.ascontiguousarray(tables),
+        pure_hilbert=all(code == "H" for code in schedule),
+    )
+
+
+def _keys_c(x: np.ndarray, y: np.ndarray, kt: KeyTables) -> np.ndarray | None:
+    """C-kernel decode; ``None`` when the library is unavailable."""
+    if LIB is None or not hasattr(LIB, "sfc_keys"):
+        return None
+    keys = np.empty(x.shape[0], dtype=KEY_DTYPE)
+    LIB.sfc_keys(
+        x.shape[0],
+        kt.nlevels,
+        as_i64p(kt.tables),
+        kt.size,
+        as_i64p(x),
+        as_i64p(y),
+        keys.ctypes.data_as(_U64P),
+    )
+    return keys
+
+
+def _face_keys_c(
+    gids: np.ndarray,
+    ne: int,
+    kt: KeyTables,
+    rank: np.ndarray,
+    coef: np.ndarray,
+) -> np.ndarray | None:
+    """Fused gid → global-key C decode (cubed-sphere face chaining).
+
+    One register-resident pass: gid → face + face-local cell →
+    chain-oriented coordinates → per-level decode → chain offset.
+    ``None`` when the library is unavailable; the caller falls back to
+    the vectorized NumPy pipeline.
+    """
+    if LIB is None or not hasattr(LIB, "sfc_face_keys"):
+        return None
+    keys = np.empty(gids.shape[0], dtype=KEY_DTYPE)
+    LIB.sfc_face_keys(
+        gids.shape[0],
+        kt.nlevels,
+        as_i64p(kt.tables),
+        ne,
+        as_i64p(rank),
+        as_i64p(coef),
+        as_i64p(gids),
+        keys.ctypes.data_as(_U64P),
+    )
+    return keys
+
+
+def _keys_numpy(x: np.ndarray, y: np.ndarray, kt: KeyTables) -> np.ndarray:
+    """Generic vectorized decode: any mixed Hilbert/Peano schedule."""
+    u = x.copy()
+    v = y.copy()
+    keys = np.zeros(u.shape, dtype=KEY_DTYPE)
+    for row in kt.tables:
+        r = int(row[_OFF_R])
+        s = int(row[_OFF_S])
+        bx = u // s
+        by = v // s
+        i = row[_OFF_RANK + bx * 3 + by]
+        keys = keys * np.uint64(r * r) + i.astype(KEY_DTYPE)
+        u -= bx * s
+        v -= by * s
+        un = row[_OFF_MXX + i] * u + row[_OFF_MXY + i] * v + row[_OFF_XNEG + i] * (s - 1)
+        v = row[_OFF_MYX + i] * u + row[_OFF_MYY + i] * v + row[_OFF_YNEG + i] * (s - 1)
+        u = un
+    return keys
+
+
+def _keys_hilbert(x: np.ndarray, y: np.ndarray, n: int) -> np.ndarray:
+    """Classic branch-free Hilbert transpose (pure power-of-two sizes).
+
+    The per-level tables of a pure-``H`` schedule collapse to bit
+    operations: the child rank is ``(3*rx) ^ ry`` and the inverse
+    transforms are "swap axes, complementing both when ``rx=1, ry=0``"
+    — the vectorized form of Cubism's ``AxestoTranspose``.
+    """
+    u = x.copy()
+    v = y.copy()
+    keys = np.zeros(u.shape, dtype=KEY_DTYPE)
+    s = n >> 1
+    while s > 0:
+        rx = ((u & s) != 0).astype(KEY_DTYPE)
+        ry = ((v & s) != 0).astype(KEY_DTYPE)
+        keys += np.uint64(s * s) * ((np.uint64(3) * rx) ^ ry)
+        m = s - 1
+        u &= m
+        v &= m
+        swap = ry == 0
+        flip = swap & (rx == 1)
+        fu = np.where(flip, m - u, u)
+        fv = np.where(flip, m - v, v)
+        u, v = np.where(swap, fv, fu), np.where(swap, fu, fv)
+        s >>= 1
+    return keys
+
+
+def _as_coord_array(a, n: int, name: str, check: bool) -> np.ndarray:
+    arr = np.ascontiguousarray(a, dtype=np.int64).ravel()
+    if check and arr.size and not (0 <= arr.min() and arr.max() < n):
+        raise ValueError(f"{name} coordinates must lie in [0, {n})")
+    return arr
+
+
+def curve_keys(
+    x,
+    y,
+    *,
+    size: int | None = None,
+    schedule: str | None = None,
+    check: bool = True,
+) -> np.ndarray:
+    """Curve positions of cells ``(x, y)``, straight from coordinates.
+
+    Bit-identical in visit order to
+    ``generate_curve(...).index[x, y]`` but never materializes the
+    curve: O(levels) vectorized passes over the coordinate arrays.
+
+    Args:
+        x: Cell x-coordinates (any shape; int-like).
+        y: Cell y-coordinates (same shape as ``x``).
+        size: Domain side length (expanded with the paper's default
+            Peano-first schedule); exactly one of ``size``/``schedule``.
+        schedule: Explicit refinement schedule (coarsest first).
+        check: Validate coordinate bounds (two cheap passes).
+
+    Returns:
+        uint64 key array of the same shape as ``x``; ``keys[k]`` is the
+        curve position of cell ``(x[k], y[k])`` in ``[0, n*n)``.
+    """
+    if (size is None) == (schedule is None):
+        raise ValueError("pass exactly one of `size` or `schedule`")
+    if schedule is None:
+        assert size is not None
+        schedule = default_schedule(size)
+    kt = schedule_tables(schedule)
+    shape = np.shape(x)
+    if np.shape(y) != shape:
+        raise ValueError("x and y must have the same shape")
+    xs = _as_coord_array(x, kt.size, "x", check)
+    ys = _as_coord_array(y, kt.size, "y", check)
+    keys = _keys_c(xs, ys, kt)
+    if keys is None:
+        if kt.pure_hilbert:
+            keys = _keys_hilbert(xs, ys, kt.size)
+        else:
+            keys = _keys_numpy(xs, ys, kt)
+    return keys.reshape(shape)
+
+
+def morton_keys(x, y, size: int, *, check: bool = True) -> np.ndarray:
+    """Morton (Z-order) keys: interleave the bits of ``y`` (even bit
+    positions) and ``x`` (odd), matching
+    :func:`repro.sfc.baselines.morton_curve`'s visit order.
+
+    Z-order is cheaper than Hilbert but *discontinuous* — consecutive
+    keys may be far apart, so Morton cannot chain the six cube faces
+    into one continuous curve (see the curve-baselines ablation).
+
+    Args:
+        x: Cell x-coordinates (any shape; int-like).
+        y: Cell y-coordinates (same shape).
+        size: Domain side length; must be a power of two.
+        check: Validate coordinate bounds.
+
+    Returns:
+        uint64 key array, same shape as ``x``.
+    """
+    if size < 1 or size & (size - 1):
+        raise ValueError(f"morton keys need a power-of-two size, got {size}")
+    shape = np.shape(x)
+    if np.shape(y) != shape:
+        raise ValueError("x and y must have the same shape")
+    xs = _as_coord_array(x, size, "x", check).astype(KEY_DTYPE)
+    ys = _as_coord_array(y, size, "y", check).astype(KEY_DTYPE)
+    keys = np.zeros(xs.shape, dtype=KEY_DTYPE)
+    one = np.uint64(1)
+    for bit in range(size.bit_length() - 1):
+        b = np.uint64(bit)
+        keys |= ((ys >> b) & one) << np.uint64(2 * bit)
+        keys |= ((xs >> b) & one) << np.uint64(2 * bit + 1)
+    return keys.reshape(shape)

@@ -1,0 +1,127 @@
+"""Global element keys equal the materialized curve's positions.
+
+``element_keys`` must agree with ``cubed_sphere_curve(ne).position``
+for every admissible resolution and schedule — including the ``ne = 1``
+degenerate case — and the canonical face chain it relies on must be
+independent of resolution.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.cubesphere.curve import (
+    cubed_sphere_curve,
+    element_keys,
+    face_chain,
+    find_face_chain,
+)
+from repro.cubesphere.mesh import cubed_sphere_mesh
+
+NES = (1, 2, 3, 4, 6, 8, 12)
+
+
+class TestGoldenEquivalence:
+    @pytest.mark.parametrize("ne", NES)
+    def test_matches_materialized_curve(self, ne):
+        curve = cubed_sphere_curve(ne)
+        keys = element_keys(ne)
+        assert keys.dtype == np.uint64
+        np.testing.assert_array_equal(
+            keys.astype(np.int64), curve.position.astype(np.int64)
+        )
+
+    @pytest.mark.parametrize("schedule", ["HP", "PH", "PP", "HHH"])
+    def test_matches_with_explicit_schedule(self, schedule):
+        from repro.sfc.factorization import schedule_size
+
+        ne = schedule_size(schedule)
+        curve = cubed_sphere_curve(ne, schedule)
+        np.testing.assert_array_equal(
+            element_keys(ne, schedule).astype(np.int64),
+            curve.position.astype(np.int64),
+        )
+
+    def test_gid_subset_slices_the_full_keying(self):
+        full = element_keys(6)
+        gids = np.array([0, 17, 100, 215])
+        np.testing.assert_array_equal(element_keys(6, gids=gids), full[gids])
+
+    def test_gid_shape_preserved(self):
+        gids = np.arange(24).reshape(4, 6)
+        assert element_keys(2, gids=gids).shape == (4, 6)
+
+    def test_keys_are_a_bijection(self):
+        keys = element_keys(4)
+        assert sorted(keys.tolist()) == list(range(6 * 16))
+
+    def test_schedule_size_mismatch(self):
+        with pytest.raises(ValueError, match="mesh has ne"):
+            element_keys(4, schedule="HHH")
+
+
+class TestKernelParity:
+    def test_fused_kernel_and_fallback_identical(self):
+        """Global keys do not depend on whether the C kernel loaded.
+
+        Each side runs in a subprocess because the kernel library is
+        chosen at import time.
+        """
+        import os
+        import subprocess
+        import sys
+
+        script = (
+            "import json\n"
+            "from repro.cubesphere.curve import element_keys\n"
+            "print(json.dumps({str(ne): element_keys(ne).tolist()\n"
+            "                  for ne in (1, 2, 6, 8, 12)}))\n"
+        )
+
+        def run(no_ckernels: bool) -> str:
+            env = dict(os.environ)
+            env.pop("REPRO_NO_CKERNELS", None)
+            if no_ckernels:
+                env["REPRO_NO_CKERNELS"] = "1"
+            return subprocess.run(
+                [sys.executable, "-c", script],
+                capture_output=True,
+                text=True,
+                env=env,
+                check=True,
+            ).stdout
+
+        assert run(no_ckernels=False) == run(no_ckernels=True)
+
+
+class TestFaceChain:
+    @pytest.mark.parametrize("ne", [2, 3, 4, 6])
+    def test_chain_is_resolution_independent(self, ne):
+        chain = find_face_chain(cubed_sphere_mesh(ne))
+        assert chain == face_chain()
+
+    def test_ne_1_same_face_order(self):
+        chain = find_face_chain(cubed_sphere_mesh(1))
+        assert chain.faces == face_chain().faces
+
+
+class TestDowncast:
+    """Satellite: curve arrays shrink to int32 when element ids fit."""
+
+    def test_int32_order_and_position(self):
+        curve = cubed_sphere_curve(4)
+        assert curve.order.dtype == np.int32
+        assert curve.position.dtype == np.int32
+
+    def test_downcast_positions_unchanged(self):
+        # The int32 arrays still encode the same permutation the
+        # uint64 key path computes independently.
+        curve = cubed_sphere_curve(8)
+        np.testing.assert_array_equal(
+            curve.position.astype(np.int64),
+            element_keys(8).astype(np.int64),
+        )
+        np.testing.assert_array_equal(
+            np.sort(curve.order), np.arange(6 * 64, dtype=np.int32)
+        )

@@ -19,7 +19,9 @@ from repro.partition.registry import (
     weighted_methods,
 )
 
-EXPECTED_METHODS = ("sfc", "rb", "kway", "tv", "rcb", "block", "random", "strided")
+EXPECTED_METHODS = (
+    "sfc", "morton", "rb", "kway", "tv", "rcb", "block", "random", "strided"
+)
 
 
 class TestResolution:
@@ -46,7 +48,7 @@ class TestResolution:
             get("nope")
 
     def test_weighted_methods(self):
-        assert weighted_methods() == ("sfc",)
+        assert weighted_methods() == ("sfc", "morton")
 
 
 class TestRegistration:
@@ -98,6 +100,19 @@ class TestCapabilities:
         get("sfc").validate(ne=4, nparts=8, schedule="HH")
         with pytest.raises(CapabilityError, match="schedule"):
             get("kway").validate(ne=4, nparts=8, schedule="HH")
+
+    def test_morton_is_discontinuous(self):
+        # The sfc-family sibling explains *why* it rejects a schedule:
+        # Z-order jumps, so faces cannot chain into one refined curve.
+        assert get("sfc").continuous
+        assert not get("morton").continuous
+        with pytest.raises(CapabilityError, match="discontinuous"):
+            get("morton").validate(ne=4, nparts=8, schedule="HH")
+
+    def test_morton_needs_power_of_two_ne(self):
+        get("morton").validate(ne=8, nparts=6)
+        with pytest.raises(CapabilityError, match="2\\^n"):
+            get("morton").validate(ne=12, nparts=6)
 
     def test_weights_only_for_weighted_methods(self):
         get("sfc").validate(ne=4, nparts=8, weighted=True)
@@ -169,6 +184,29 @@ def _legacy_make_partition(ne, nproc, method, seed=0, schedule=None):
     )
     if method == "sfc":
         return sfc_partition(ne, nproc, schedule=schedule)
+    if method == "morton":
+        # Materialized oracle: cut the explicit per-face Z-order
+        # traversal the way partition_curve cuts the global SFC.
+        from repro.partition.base import Partition
+        from repro.partition.sfc import cut_positions_uniform
+        from repro.sfc.baselines import morton_curve
+
+        mc = morton_curve(ne.bit_length() - 1)
+        n2 = ne * ne
+        order = np.concatenate(
+            [
+                face * n2 + mc.coords[:, 1].astype(np.int64) * ne
+                + mc.coords[:, 0].astype(np.int64)
+                for face in range(6)
+            ]
+        )
+        bounds = cut_positions_uniform(6 * n2, nproc)
+        owner = np.empty(6 * n2, dtype=np.int64)
+        for p in range(nproc):
+            owner[bounds[p] : bounds[p + 1]] = p
+        assignment = np.empty(6 * n2, dtype=np.int64)
+        assignment[order] = owner
+        return Partition(assignment, nparts=nproc, method="morton")
     if method in ("rb", "kway", "tv"):
         return part_graph(graph, nproc, method, seed=seed)
     if method == "rcb":

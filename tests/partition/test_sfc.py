@@ -14,6 +14,8 @@ from repro.partition.metrics import load_balance
 from repro.partition.sfc import (
     cut_positions_uniform,
     cut_positions_weighted,
+    keyed_cut,
+    morton_partition,
     partition_curve,
     sfc_partition,
 )
@@ -128,3 +130,67 @@ class TestSFCPartition:
 
     def test_method_label(self):
         assert sfc_partition(2, 4).method == "sfc"
+
+
+class TestKeyedCut:
+    """The streaming key path is bit-identical to cutting the curve."""
+
+    @pytest.mark.parametrize("ne,nparts", [(2, 4), (4, 7), (6, 9), (12, 30)])
+    def test_keyed_equals_materialized(self, ne, nparts):
+        keyed = sfc_partition(ne, nparts)
+        golden = partition_curve(cubed_sphere_curve(ne), nparts)
+        np.testing.assert_array_equal(keyed.assignment, golden.assignment)
+
+    @pytest.mark.parametrize("chunk", [1, 7, 100, 10**9])
+    def test_chunk_size_never_changes_the_cut(self, chunk):
+        whole = sfc_partition(6, 9)
+        np.testing.assert_array_equal(
+            sfc_partition(6, 9, chunk=chunk).assignment, whole.assignment
+        )
+
+    def test_weighted_keyed_equals_materialized(self):
+        rng = np.random.default_rng(7)
+        w = rng.uniform(0.5, 2.0, size=96)
+        keyed = sfc_partition(4, 8, weights=w, chunk=13)
+        golden = partition_curve(cubed_sphere_curve(4), 8, weights=w)
+        np.testing.assert_array_equal(keyed.assignment, golden.assignment)
+
+    def test_schedule_flows_through_key_path(self):
+        keyed = sfc_partition(6, 8, schedule="HP")
+        golden = partition_curve(cubed_sphere_curve(6, "HP"), 8)
+        np.testing.assert_array_equal(keyed.assignment, golden.assignment)
+
+    def test_inadmissible_ne_rejected_before_work(self):
+        with pytest.raises(ValueError):
+            sfc_partition(5, 2)
+
+    def test_bad_chunk(self):
+        with pytest.raises(ValueError, match="chunk"):
+            keyed_cut(lambda ids: ids.astype(np.uint64), 24, 4, chunk=0)
+
+
+class TestMortonPartition:
+    def test_balanced_and_valid(self):
+        p = morton_partition(4, 8)
+        assert p.method == "morton"
+        sizes = p.part_sizes()
+        assert sizes.max() - sizes.min() <= 1
+        p.validate()
+
+    @pytest.mark.parametrize("chunk", [1, 11, None])
+    def test_chunk_invariant(self, chunk):
+        np.testing.assert_array_equal(
+            morton_partition(4, 7, chunk=chunk).assignment,
+            morton_partition(4, 7).assignment,
+        )
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError, match="2\\^n"):
+            morton_partition(12, 4)
+
+    def test_differs_from_sfc(self):
+        # Z-order jumps; the continuous Hilbert cut is a different map.
+        assert not np.array_equal(
+            morton_partition(4, 8).assignment,
+            sfc_partition(4, 8).assignment,
+        )

@@ -187,6 +187,37 @@ class TestValidationErrors:
 
         run(inner())
 
+    def test_morton_is_servable_but_discontinuity_is_422(self):
+        async def inner():
+            async with PartitionServer(PartitionEngine()) as server:
+                conn = await Connection.open(*server.address)
+                ok = await conn.post_json(
+                    "/partition", {"ne": 4, "nparts": 8, "method": "morton"}
+                )
+                assert ok.status == 200
+                assert ok.json()["request"]["method"] == "morton"
+                # Z-order cannot chain faces: a schedule is meaningless.
+                bad = await conn.post_json(
+                    "/partition",
+                    {"ne": 4, "nparts": 8, "method": "morton",
+                     "schedule": "HH"},
+                )
+                assert bad.status == 422
+                assert "discontinuous" in bad.json()["error"]["message"]
+                # And ne must be a power of two for the bit interleave.
+                bad_ne = await conn.post_json(
+                    "/partition", {"ne": 12, "nparts": 8, "method": "morton"}
+                )
+                assert bad_ne.status == 422
+
+                methods = (await conn.request("GET", "/methods")).json()
+                by_name = {m["name"]: m for m in methods["methods"]}
+                assert by_name["morton"]["continuous"] is False
+                assert by_name["sfc"]["continuous"] is True
+                await conn.close()
+
+        run(inner())
+
 
 class TestCoalescing:
     def test_concurrent_identical_requests_share_one_compute(self, slowstub):

@@ -517,9 +517,12 @@ class TestMethodsCommand:
     def test_csv_output(self, capsys):
         assert main(["methods", "--csv"]) == 0
         lines = capsys.readouterr().out.strip().splitlines()
-        assert lines[0].startswith("method,family,weighted,seeded,schedule")
-        assert len(lines) == 9  # header + eight methods
-        assert lines[1].startswith("sfc,sfc,yes,no,yes")
+        assert lines[0].startswith(
+            "method,family,weighted,seeded,schedule,continuous"
+        )
+        assert len(lines) == 10  # header + nine methods
+        assert lines[1].startswith("sfc,sfc,yes,no,yes,yes")
+        assert lines[2].startswith("morton,sfc,yes,no,no,no")
 
     def test_choices_follow_registry(self):
         """--method choices come from the registry, not a literal list."""
