@@ -17,6 +17,12 @@ Zipf-distributed mix over ``(ne, nparts, method)``, in five phases:
    takes a volley of distinct cache misses; the overflow must be
    rejected with 503 + Retry-After, not queued unboundedly.
 
+Between warm and disconnect an observability A/B re-runs the warm mix
+with the JSONL access log off then on (``obs_off``/``obs_on``), and a
+final traced mini-run exports a Chrome trace.  Both artifacts land in
+``results/`` (``access_log.jsonl``, ``trace_sample.json``) for CI to
+upload.
+
 Reports p50/p99 latency, throughput, coalesce rate, and cache hit
 rate per phase to ``benchmarks/results/bench_service_load.json`` and
 exits non-zero if an acceptance check fails:
@@ -223,6 +229,104 @@ async def run_saturation(*, max_pending: int, volley: int) -> dict:
         }
 
 
+async def run_observability_ab(
+    host: str,
+    port: int,
+    *,
+    clients: int,
+    requests: int,
+    mix: list[dict],
+    weights: list[float],
+    rng: random.Random,
+    reps: int = 3,
+) -> tuple[dict, dict, dict]:
+    """Warm-mix A/B: access logging off vs on, same traffic shape.
+
+    Runs against the already-warm cache so both legs price pure server
+    overhead rather than compute.  Queueing at high concurrency makes a
+    single p50 swing by ±20%, so the legs are interleaved ``reps``
+    times and compared at their min-p50 (the noise floor).  The "on"
+    legs leave the JSONL access log behind at
+    ``results/access_log.jsonl`` as a CI artifact.
+    """
+    from repro.telemetry import add_sink, remove_sink
+
+    RESULTS_DIR.mkdir(exist_ok=True)
+    access_path = RESULTS_DIR / "access_log.jsonl"
+    access_path.unlink(missing_ok=True)
+    legs: dict[str, list[dict]] = {"off": [], "on": []}
+    for _ in range(reps):
+        legs["off"].append(await run_phase(
+            host, port, clients=clients, requests=requests,
+            mix=mix, weights=weights, rng=rng,
+        ))
+        sink = add_sink(access_path, events={"access"})
+        try:
+            legs["on"].append(await run_phase(
+                host, port, clients=clients, requests=requests,
+                mix=mix, weights=weights, rng=rng,
+            ))
+        finally:
+            remove_sink(sink)
+    best = {k: min(runs, key=lambda r: r["p50_ms"]) for k, runs in legs.items()}
+    for name, runs in legs.items():
+        best[name]["dropped_or_hung"] = sum(r["dropped_or_hung"] for r in runs)
+    overhead = None
+    if best["off"]["p50_ms"]:
+        overhead = round(
+            100.0
+            * (best["on"]["p50_ms"] - best["off"]["p50_ms"])
+            / best["off"]["p50_ms"],
+            1,
+        )
+    summary = {
+        "reps": reps,
+        "off_p50_ms": best["off"]["p50_ms"],
+        "on_p50_ms": best["on"]["p50_ms"],
+        "p50_overhead_pct": overhead,
+        "off_p50s_ms": [r["p50_ms"] for r in legs["off"]],
+        "on_p50s_ms": [r["p50_ms"] for r in legs["on"]],
+        "access_log": str(access_path),
+        "access_records": sum(1 for _ in access_path.open()),
+    }
+    return best["off"], best["on"], summary
+
+
+async def run_trace_sample() -> dict:
+    """A short traced run exporting a Chrome-trace artifact.
+
+    One client trace id spans both requests: the first computes (so the
+    export contains server, engine, *and* worker-process spans under
+    that id), the second is a cache hit.  CI uploads the JSON; open it
+    in ui.perfetto.dev.
+    """
+    from repro.telemetry import RequestContext, telemetry_session
+    from repro.telemetry.exporters import write_chrome_trace
+
+    trace_path = RESULTS_DIR / "trace_sample.json"
+    with telemetry_session(command="bench_service_load") as session:
+        async with PartitionServer(PartitionEngine()) as server:
+            host, port = server.address
+            ctx = RequestContext.new()
+            for _ in range(2):
+                async with await Connection.open(host, port) as conn:
+                    resp = await conn.request(
+                        "POST",
+                        "/partition",
+                        json.dumps({"ne": 4, "nparts": 6}).encode(),
+                        headers={"traceparent": ctx.traceparent()},
+                    )
+                    assert resp.status == 200
+                    assert resp.json()["trace_id"] == ctx.trace_id
+    RESULTS_DIR.mkdir(exist_ok=True)
+    write_chrome_trace(trace_path, session)
+    return {
+        "path": str(trace_path),
+        "spans": len(session.tracer.spans),
+        "trace_id": ctx.trace_id,
+    }
+
+
 def scrape_counter(metrics_text: str, name: str) -> int:
     total = 0
     for line in metrics_text.splitlines():
@@ -263,6 +367,14 @@ async def main_async(args: argparse.Namespace) -> dict:
             clients=args.warm_clients, requests=args.requests,
             mix=mix, weights=weights, rng=rng,
         )
+        phases["obs_off"], phases["obs_on"], report["observability"] = (
+            await run_observability_ab(
+                host, port,
+                clients=args.warm_clients,
+                requests=max(50, args.requests // 2),
+                mix=mix, weights=weights, rng=rng,
+            )
+        )
         phases["disconnect"] = await run_disconnects(
             host, port, aborts=args.aborts, mix=mix, weights=weights, rng=rng,
         )
@@ -279,6 +391,7 @@ async def main_async(args: argparse.Namespace) -> dict:
     phases["saturation"] = await run_saturation(
         max_pending=args.max_pending, volley=args.volley
     )
+    report["trace_sample"] = await run_trace_sample()
 
     warm, sat = phases["warm"], phases["saturation"]
     total_dropped = sum(
@@ -336,6 +449,13 @@ def main(argv: list[str] | None = None) -> int:
         print(f"[{phase}] {line}")
     print(f"[metrics] {report['server_metrics']}, "
           f"cache_hit_rate={report['cache_hit_rate']}")
+    obs = report["observability"]
+    print(f"[observability] off_p50_ms={obs['off_p50_ms']}, "
+          f"on_p50_ms={obs['on_p50_ms']}, "
+          f"p50_overhead_pct={obs['p50_overhead_pct']}, "
+          f"access_records={obs['access_records']}")
+    trace = report["trace_sample"]
+    print(f"[trace] {trace['spans']} spans -> {trace['path']}")
     for check, passed in report["checks"].items():
         print(f"[check] {check}: {'ok' if passed else 'FAIL'}")
     print(f"-> {args.out}")

@@ -207,6 +207,99 @@ def measure_telemetry_overhead(metis_rb_seconds: float) -> dict[str, float]:
     }
 
 
+def _count_log_events_per_warm_request() -> float:
+    """Log records one warm cache-hit request emits, counted live.
+
+    Serves ten warm hits through a real in-process server with a
+    capture buffer installed, so the count tracks the actual call
+    sites (today: one ``access`` record per request) instead of a
+    hard-coded constant.
+    """
+    import asyncio
+
+    from repro.server import Connection, PartitionServer
+    from repro.service import PartitionEngine
+    from repro.telemetry.logs import capture_records
+
+    async def run() -> float:
+        async with PartitionServer(PartitionEngine()) as server:
+            host, port = server.address
+            async with await Connection.open(host, port) as conn:
+                payload = {"ne": NE, "nparts": NPARTS}
+                first = await conn.post_json("/partition", payload)
+                assert first.status == 200
+                with capture_records() as records:
+                    for _ in range(10):
+                        resp = await conn.post_json("/partition", payload)
+                        assert resp.status == 200
+                return len(records) / 10
+
+    return asyncio.run(run())
+
+
+def measure_observability_overhead(
+    server_warm_hit_seconds: float,
+) -> dict[str, float]:
+    """Disabled-cost of the request-observability layer per warm hit.
+
+    Two components, priced separately and summed:
+
+    * the structured-logging no-op — count the ``log_event`` calls one
+      warm request actually makes and price one disabled call (no sink,
+      no capture: a module-global read and return);
+    * the always-on identity bookkeeping — traceparent parse, context
+      enter/exit, SLO record, ring append — priced by a micro-loop of
+      exactly those operations.
+
+    Their sum as a fraction of the measured warm-hit latency is the
+    ``observability_overhead`` gate (budget: ``OVERHEAD_BUDGET``).
+    """
+    from collections import deque
+
+    from repro.telemetry import (
+        RequestContext,
+        SLOTracker,
+        log_event,
+        parse_traceparent,
+        request_context,
+    )
+
+    events = _count_log_events_per_warm_request()
+
+    n = 100_000
+
+    def disabled_log_loop() -> None:
+        for _ in range(n):
+            log_event("overhead_probe", status=200, ms=0.1, source="memory")
+
+    disabled_log_loop()  # warm
+    per_log = _best_of(disabled_log_loop, repeats=3) / n
+
+    slo = SLOTracker()
+    ring: deque = deque(maxlen=128)
+    header = RequestContext.new().traceparent()
+    m = 20_000
+
+    def identity_loop() -> None:
+        for _ in range(m):
+            ctx = parse_traceparent(header) or RequestContext.new()
+            with request_context(ctx):
+                pass
+            slo.record(200, 0.001)
+            ring.append((ctx.request_id, ctx.trace_id, 200, 0.001))
+
+    identity_loop()  # warm
+    per_identity = _best_of(identity_loop, repeats=3) / m
+
+    per_request = events * per_log + per_identity
+    return {
+        "noop_log_event_ns": 1e9 * per_log,
+        "log_events_per_request": events,
+        "identity_ops_ns": 1e9 * per_identity,
+        "overhead_fraction": per_request / server_warm_hit_seconds,
+    }
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument(
@@ -224,6 +317,7 @@ def main(argv: list[str] | None = None) -> int:
 
     timings = measure()
     overhead = measure_telemetry_overhead(timings["metis_rb"])
+    obs_overhead = measure_observability_overhead(timings["server_warm_hit"])
     RESULTS_PATH.parent.mkdir(exist_ok=True)
     RESULTS_PATH.write_text(
         json.dumps(
@@ -233,6 +327,7 @@ def main(argv: list[str] | None = None) -> int:
                 "nparts": NPARTS,
                 "seconds": timings,
                 "telemetry_overhead": overhead,
+                "observability_overhead": obs_overhead,
             },
             indent=2,
             sort_keys=True,
@@ -286,6 +381,17 @@ def main(argv: list[str] | None = None) -> int:
     )
     if frac > OVERHEAD_BUDGET:
         failures.append("telemetry_overhead")
+    obs_frac = obs_overhead["overhead_fraction"]
+    verdict = "ok" if obs_frac <= OVERHEAD_BUDGET else "REGRESSION"
+    print(
+        f"{'observability_overhead':20s} {100 * obs_frac:6.3f} %   budget    "
+        f"{100 * OVERHEAD_BUDGET:8.3f} %          {verdict}  "
+        f"({obs_overhead['noop_log_event_ns']:.0f} ns/log x "
+        f"{obs_overhead['log_events_per_request']:.1f} events + "
+        f"{obs_overhead['identity_ops_ns']:.0f} ns identity)"
+    )
+    if obs_frac > OVERHEAD_BUDGET:
+        failures.append("observability_overhead")
     if failures:
         print(
             f"FAIL: {len(failures)} metric(s) slower than "

@@ -9,10 +9,17 @@ Subcommands mirror the library's main workflows:
   the cached, parallel service engine;
 * ``serve``     — run the asyncio HTTP/JSON partition server
   (``POST /partition``, ``POST /batch``, ``GET /healthz``,
-  ``GET /methods``, ``GET /metrics``) with request coalescing and
-  admission control;
+  ``GET /methods``, ``GET /metrics``, ``GET /debug/*``) with request
+  coalescing, admission control, and optional structured logs
+  (``--access-log`` for one JSON line per request, ``--log-json`` for
+  every event, ``--log-sample`` for per-trace sampling);
 * ``profile``   — per-stage wall-time profile of a partition request
   (coarsen/initial/refine/uncoarsen, cache, pool) as a table or JSON;
+  ``--live URL`` instead profiles a *running* server via its
+  ``/debug/profile`` endpoint (collapsed stacks, flamegraph-ready);
+* ``top``       — live terminal view of a running server: polls
+  ``/debug/vars`` and ``/metrics`` and renders load, cache hit rates,
+  latency quantiles, and the SLO verdict;
 * ``metrics``   — report LB/edgecut/TCV histograms and counters from a
   saved metrics export, or serve a request file and report live;
 * ``methods``   — list the registered partitioners (names, families,
@@ -133,6 +140,14 @@ def _add_telemetry_flags(parser: argparse.ArgumentParser) -> None:
         metavar="PATH",
         help="write a structured JSON-lines run log (spans + metrics)",
     )
+    parser.add_argument(
+        "--log-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append live structured log events (engine + worker, with "
+        "trace ids) as JSON lines during the run",
+    )
 
 
 def _make_engine(args: argparse.Namespace):
@@ -250,13 +265,50 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="write the server's metrics registry snapshot on shutdown",
     )
+    p_serve.add_argument(
+        "--access-log",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append one JSON line per request (method, route, status, "
+        "latency, source, trace id)",
+    )
+    p_serve.add_argument(
+        "--log-json",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="append every structured log event (access + engine + "
+        "worker) as JSON lines",
+    )
+    p_serve.add_argument(
+        "--log-sample",
+        type=float,
+        default=1.0,
+        metavar="FRACTION",
+        help="fraction of traces the log sinks keep, in (0, 1] "
+        "(whole requests are kept or dropped together; default: 1.0)",
+    )
     _add_service_flags(p_serve)
 
     p_prof = sub.add_parser(
         "profile", help="per-stage timing profile of one partition request"
     )
-    p_prof.add_argument("--ne", type=int, required=True)
-    p_prof.add_argument("--nparts", type=int, required=True)
+    p_prof.add_argument(
+        "--live",
+        default=None,
+        metavar="URL",
+        help="profile a running server instead: fetch URL/debug/profile "
+        "and print collapsed stacks (--ne/--nparts not needed)",
+    )
+    p_prof.add_argument(
+        "--seconds",
+        type=float,
+        default=2.0,
+        help="sampling duration for --live (default: 2)",
+    )
+    p_prof.add_argument("--ne", type=int, default=None)
+    p_prof.add_argument("--nparts", type=int, default=None)
     p_prof.add_argument(
         "--method",
         default="rb",
@@ -292,6 +344,32 @@ def build_parser() -> argparse.ArgumentParser:
         help="emit Prometheus text exposition instead of tables",
     )
     _add_service_flags(p_metrics)
+
+    p_top = sub.add_parser(
+        "top", help="live terminal view of a running partition server"
+    )
+    p_top.add_argument(
+        "--url",
+        default="http://127.0.0.1:8077",
+        help="server base URL (default: http://127.0.0.1:8077)",
+    )
+    p_top.add_argument(
+        "--interval",
+        type=float,
+        default=2.0,
+        help="seconds between refreshes (default: 2)",
+    )
+    p_top.add_argument(
+        "--iterations",
+        type=_positive_int,
+        default=None,
+        help="stop after this many refreshes (default: run until Ctrl-C)",
+    )
+    p_top.add_argument(
+        "--once",
+        action="store_true",
+        help="print one snapshot and exit (no screen clearing)",
+    )
 
     p_methods = sub.add_parser(
         "methods", help="list the registered partitioners and their capabilities"
@@ -440,14 +518,24 @@ def _run_instrumented(args: argparse.Namespace, body, **meta) -> int:
     """
     want_profile = args.profile or args.profile_json
     want_telemetry = bool(
-        args.trace_json or args.metrics or args.metrics_json or args.run_log
+        args.trace_json
+        or args.metrics
+        or args.metrics_json
+        or args.run_log
+        or args.log_json
     )
     if not (want_profile or want_telemetry):
         return body()
     from contextlib import ExitStack
 
     from .profiling import profiled
-    from .telemetry import telemetry_session
+    from .telemetry import (
+        RequestContext,
+        add_sink,
+        remove_sink,
+        request_context,
+        telemetry_session,
+    )
 
     with ExitStack() as stack:
         session = (
@@ -455,8 +543,16 @@ def _run_instrumented(args: argparse.Namespace, body, **meta) -> int:
             if want_telemetry
             else None
         )
+        if args.log_json is not None:
+            stack.callback(remove_sink, add_sink(args.log_json))
         prof = stack.enter_context(profiled()) if want_profile else None
+        # A fresh request context names this run: every span and log
+        # record it produces — in this process and in pool workers —
+        # shares one trace id.
+        stack.enter_context(request_context(RequestContext.new()))
         rc = body()
+    if args.log_json is not None:
+        print(f"wrote {args.log_json}", file=sys.stderr)
     if prof is not None:
         print()
         print(prof.render(title=f"Stage profile: {args.command}"))
@@ -579,7 +675,37 @@ def _cmd_serve(args: argparse.Namespace) -> int:
 
 
 async def _serve_main(args: argparse.Namespace) -> int:
-    """Run the partition server until SIGINT/SIGTERM, then drain."""
+    """Run the partition server until SIGINT/SIGTERM, then drain.
+
+    ``--access-log``/``--log-json`` attach JSON-lines sinks for the
+    lifetime of the server (detached and closed on exit, so log files
+    are complete when the process returns).
+    """
+    from .telemetry import add_sink, remove_sink
+
+    sinks = []
+    try:
+        if args.access_log is not None:
+            sinks.append(
+                add_sink(
+                    args.access_log, sample=args.log_sample, events={"access"}
+                )
+            )
+        if args.log_json is not None:
+            sinks.append(add_sink(args.log_json, sample=args.log_sample))
+    except (ValueError, OSError) as exc:
+        for sink in sinks:
+            remove_sink(sink)
+        raise SystemExit(f"repro: error: cannot open log sink: {exc}")
+    try:
+        return await _serve_loop(args)
+    finally:
+        for sink in sinks:
+            remove_sink(sink)
+
+
+async def _serve_loop(args: argparse.Namespace) -> int:
+    """The serve event loop proper (sinks already configured)."""
     import asyncio
     import signal
     from contextlib import suppress
@@ -634,6 +760,59 @@ async def _serve_main(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_server_url(url: str) -> tuple[str, int]:
+    """``http://host:port`` -> ``(host, port)`` with readable errors."""
+    from urllib.parse import urlsplit
+
+    parts = urlsplit(url if "//" in url else f"http://{url}")
+    if parts.scheme not in ("http", ""):
+        raise SystemExit(
+            f"repro: error: only http:// URLs are supported, got '{url}'"
+        )
+    host = parts.hostname
+    if not host:
+        raise SystemExit(f"repro: error: no host in server URL '{url}'")
+    return host, parts.port or 8077
+
+
+def _fetch_server(host: str, port: int, path: str):
+    """One blocking GET against a running server; readable errors."""
+    import asyncio
+
+    from .server.client import fetch
+
+    try:
+        return asyncio.run(fetch(host, port, "GET", path))
+    except (ConnectionError, OSError) as exc:
+        raise SystemExit(
+            f"repro: error: cannot reach server at {host}:{port}: {exc}"
+        )
+
+
+def _profile_live(args: argparse.Namespace) -> int:
+    """``repro profile --live URL``: sample a running server's stacks."""
+    host, port = _parse_server_url(args.live)
+    response = _fetch_server(
+        host, port, f"/debug/profile?seconds={args.seconds:g}"
+    )
+    if response.status != 200:
+        raise SystemExit(
+            f"repro: error: server answered {response.status}: "
+            f"{response.body.decode('utf-8', 'replace')}"
+        )
+    samples = response.headers.get("x-profile-samples", "?")
+    print(
+        f"sampled {samples} stacks over {args.seconds:g}s from "
+        f"http://{host}:{port} (collapsed-stack format; feed to "
+        "flamegraph.pl or speedscope)",
+        file=sys.stderr,
+    )
+    body = response.body.decode("utf-8", "replace")
+    if body:
+        print(body, end="" if body.endswith("\n") else "\n")
+    return 0
+
+
 def _cmd_profile(args: argparse.Namespace) -> int:
     from contextlib import ExitStack
 
@@ -641,11 +820,22 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     from .service import PartitionRequest
     from .telemetry import telemetry_session
 
+    if args.live is not None:
+        return _profile_live(args)
+    if args.ne is None or args.nparts is None:
+        raise SystemExit(
+            "repro: error: --ne and --nparts are required "
+            "(or pass --live URL to profile a running server)"
+        )
     request = PartitionRequest(
         ne=args.ne, nparts=args.nparts, method=args.method, seed=args.seed
     )
     want_telemetry = bool(
-        args.trace_json or args.metrics or args.metrics_json or args.run_log
+        args.trace_json
+        or args.metrics
+        or args.metrics_json
+        or args.run_log
+        or args.log_json
     )
     with ExitStack() as stack:
         session = (
@@ -660,6 +850,12 @@ def _cmd_profile(args: argparse.Namespace) -> int:
             if want_telemetry
             else None
         )
+        if args.log_json is not None:
+            from .telemetry import RequestContext, add_sink, remove_sink
+            from .telemetry import request_context
+
+            stack.callback(remove_sink, add_sink(args.log_json))
+            stack.enter_context(request_context(RequestContext.new()))
         prof = stack.enter_context(profiled())
         engine = stack.enter_context(_make_engine(args))
         for _ in range(args.repeat):
@@ -689,6 +885,124 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     if session is not None:
         _write_telemetry_outputs(args, session)
     return 0
+
+
+def _histogram_quantile(text: str, name: str, q: float) -> float | None:
+    """Crude upper-bound quantile from Prometheus histogram buckets.
+
+    Returns the smallest bucket boundary covering fraction ``q`` of
+    observations (summed across label sets), or ``None`` when the
+    histogram is absent or empty.  Good enough for a live top view.
+    """
+    buckets: dict[float, float] = {}
+    prefix = f"{name}_bucket{{"
+    for line in text.splitlines():
+        if not line.startswith(prefix):
+            continue
+        labels, _, value = line.partition("} ")
+        le = None
+        for part in labels[len(prefix) - 1:].strip("{}").split(","):
+            key, _, raw = part.partition("=")
+            if key.strip() == "le":
+                raw = raw.strip().strip('"')
+                le = float("inf") if raw == "+Inf" else float(raw)
+        if le is None:
+            continue
+        try:
+            buckets[le] = buckets.get(le, 0.0) + float(value)
+        except ValueError:
+            continue
+    if not buckets:
+        return None
+    total = buckets.get(float("inf"), max(buckets.values()))
+    if total <= 0:
+        return None
+    for le in sorted(buckets):
+        if buckets[le] >= q * total:
+            return le
+    return None
+
+
+def _render_top(host: str, port: int, vars_data: dict, metrics_text: str) -> str:
+    """One ``repro top`` frame from /debug/vars + /metrics payloads."""
+    build = vars_data.get("build", {})
+    server = vars_data.get("server", {})
+    engine = vars_data.get("engine", {})
+    cache = vars_data.get("cache", {})
+    slo = vars_data.get("slo", {})
+    coalescing = vars_data.get("coalescing", {})
+    status = slo.get("status", "?")
+    if server.get("closing"):
+        status = "draining"
+    p50 = _histogram_quantile(metrics_text, "server_request_seconds", 0.50)
+    p99 = _histogram_quantile(metrics_text, "server_request_seconds", 0.99)
+
+    def _ms(value: float | None) -> str:
+        return f"{1e3 * value:.0f}ms" if value is not None else "n/a"
+
+    lines = [
+        f"repro top — http://{host}:{port}   "
+        f"v{build.get('version', '?')} pid {build.get('pid', '?')}   "
+        f"up {vars_data.get('uptime_s', 0):.0f}s",
+        f"status: {status}   "
+        f"inflight {coalescing.get('inflight', 0)}/"
+        f"{server.get('max_pending', '?')}   "
+        f"connections {server.get('connections', 0)}   "
+        f"active {server.get('active_requests', 0)}",
+        f"requests: {engine.get('requests', 0)} total   "
+        f"hit rate {100 * engine.get('hit_rate', 0.0):.1f}%   "
+        f"p50<={_ms(p50)}   p99<={_ms(p99)}",
+        f"cache: mem {cache.get('memory_hits', 0)} "
+        f"disk {cache.get('disk_hits', 0)} "
+        f"miss {cache.get('misses', 0)} "
+        f"stale {cache.get('stale', 0)}   "
+        f"entries {cache.get('memory_entries', 0)}",
+    ]
+    for window in slo.get("windows", []):
+        lines.append(
+            f"slo {window.get('seconds', '?')}s: "
+            f"{window.get('count', 0)} req   "
+            f"err {100 * window.get('error_rate', 0.0):.2f}%   "
+            f"slow {100 * window.get('slow_rate', 0.0):.2f}%   "
+            f"burn avail {window.get('availability_burn', 0.0):g} / "
+            f"lat {window.get('latency_burn', 0.0):g}"
+        )
+    degraded_by = slo.get("degraded_by") or []
+    if degraded_by:
+        lines.append(f"DEGRADED by: {', '.join(degraded_by)}")
+    return "\n".join(lines)
+
+
+def _cmd_top(args: argparse.Namespace) -> int:
+    """Live terminal view over /debug/vars + /metrics of a server."""
+    import time as _time
+
+    host, port = _parse_server_url(args.url)
+    iterations = 1 if args.once else args.iterations
+    count = 0
+    try:
+        while True:
+            vars_resp = _fetch_server(host, port, "/debug/vars")
+            metrics_resp = _fetch_server(host, port, "/metrics")
+            if vars_resp.status != 200:
+                raise SystemExit(
+                    f"repro: error: /debug/vars answered {vars_resp.status}"
+                )
+            frame = _render_top(
+                host,
+                port,
+                vars_resp.json(),
+                metrics_resp.body.decode("utf-8", "replace"),
+            )
+            if not args.once and sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")
+            print(frame)
+            count += 1
+            if iterations is not None and count >= iterations:
+                return 0
+            _time.sleep(args.interval)
+    except KeyboardInterrupt:
+        return 0
 
 
 def _cmd_metrics(args: argparse.Namespace) -> int:
@@ -894,6 +1208,7 @@ def main(argv: list[str] | None = None) -> int:
         "batch": _cmd_batch,
         "serve": _cmd_serve,
         "profile": _cmd_profile,
+        "top": _cmd_top,
         "metrics": _cmd_metrics,
         "methods": _cmd_methods,
         "cache": _cmd_cache,

@@ -8,10 +8,26 @@
   Table-2 metrics + source).
 * ``POST /batch`` — a JSON list of request objects (or
   ``{"requests": [...]}``); answers per item, errors included inline.
-* ``GET /healthz`` — liveness plus the in-flight/pending picture.
+* ``GET /healthz`` — liveness, the in-flight/pending picture, and the
+  rolling multi-window SLO verdict (``ok`` / ``degraded``).
 * ``GET /methods`` — the partitioner registry as JSON.
 * ``GET /metrics`` — Prometheus text exposition of the active
   telemetry session's registry.
+* ``GET /debug/vars`` — live internals: build info, cache hit rates,
+  pool/coalescing depth, geometry-cache counters, SLO windows.
+* ``GET /debug/requests`` — ring buffer of the last N requests
+  (status, latency, source, trace id).
+* ``GET /debug/profile?seconds=S`` — collapsed-stack wall-clock
+  profile of the serving process (thread-sampling, flamegraph-ready).
+
+Every request gets an identity: the server parses an incoming W3C
+``traceparent`` (continuing the caller's trace) or starts a fresh
+trace, carries the :class:`~repro.telemetry.context.RequestContext`
+through the engine into pool workers, and answers with
+``X-Request-Id`` + ``traceparent`` response headers (partition
+responses also embed ``request_id``/``trace_id`` in the JSON body).
+When log sinks are configured (``repro serve --access-log/--log-json``)
+each request emits one structured ``access`` record.
 
 Serving mechanics, in request order:
 
@@ -43,22 +59,37 @@ from __future__ import annotations
 
 import asyncio
 import json
+import os
+import sys
+import time
+from collections import deque
 from contextlib import ExitStack, suppress
 from time import perf_counter
 
+from .. import __version__
 from ..partition import registry
+from ..seam.dss import dss_memo_stats
+from ..seam.element import geometry_cache_stats
 from ..service import PartitionEngine, PartitionRequest
 from ..service.engine import _pool_compute, _record_response_metrics
 from ..telemetry import (
+    RequestContext,
+    SLOTracker,
     TelemetrySession,
     activate,
+    current_context,
     current_session,
     inc,
+    log_event,
     observe,
-    set_gauge,
-    telemetry_active,
+    parse_traceparent,
     replay_payload,
+    request_context,
+    set_gauge,
+    span,
+    telemetry_active,
 )
+from ..telemetry.sampling import MAX_SECONDS, sample_stacks
 from .http import (
     HTTPError,
     HTTPRequest,
@@ -73,11 +104,28 @@ __all__ = ["PartitionServer"]
 #: Upper bound on the number of request objects in one /batch body.
 MAX_BATCH_ITEMS = 4096
 
+#: Capacity of the /debug/requests ring buffer.
+DEBUG_RING_SIZE = 128
+
+#: Every route the server answers (404 bodies list these as a hint).
+KNOWN_ROUTES = (
+    "/batch",
+    "/debug/profile",
+    "/debug/requests",
+    "/debug/vars",
+    "/healthz",
+    "/methods",
+    "/metrics",
+    "/partition",
+)
+
 
 class _Result:
     """One route's answer: status + body + response metadata."""
 
-    __slots__ = ("status", "body", "content_type", "headers", "partitioner")
+    __slots__ = (
+        "status", "body", "content_type", "headers", "partitioner", "source",
+    )
 
     def __init__(
         self,
@@ -86,12 +134,14 @@ class _Result:
         content_type: str = "application/json",
         headers: dict[str, str] | None = None,
         partitioner: str = "none",
+        source: str = "",
     ) -> None:
         self.status = status
         self.body = body
         self.content_type = content_type
         self.headers = headers or {}
         self.partitioner = partitioner
+        self.source = source
 
 
 class PartitionServer:
@@ -109,6 +159,8 @@ class PartitionServer:
             pool size.
         request_timeout: Seconds allowed per connection read and per
             request dispatch.
+        slo: Rolling SLO tracker feeding ``/healthz``; ``None`` builds
+            one with the default objectives.
     """
 
     def __init__(
@@ -119,6 +171,7 @@ class PartitionServer:
         port: int = 0,
         max_pending: int | None = None,
         request_timeout: float = 30.0,
+        slo: SLOTracker | None = None,
     ) -> None:
         self._owns_engine = engine is None
         self.engine = engine if engine is not None else PartitionEngine()
@@ -141,6 +194,9 @@ class PartitionServer:
         self._idle.set()
         self._stack = ExitStack()
         self.session: TelemetrySession | None = None
+        self.slo = slo if slo is not None else SLOTracker()
+        self._recent: deque[dict] = deque(maxlen=DEBUG_RING_SIZE)
+        self._started_at = time.time()
 
     # -- lifecycle ------------------------------------------------------
 
@@ -284,46 +340,90 @@ class PartitionServer:
 
         Returns whether the connection should be kept open.
         """
+        ctx = parse_traceparent(request.headers.get("traceparent", ""))
+        if ctx is None:
+            ctx = RequestContext.new()
         self._begin_request()
         t0 = perf_counter()
         result: _Result | None = None
-        try:
+        with request_context(ctx):
             try:
-                result = await asyncio.wait_for(
-                    self._dispatch(request), self.request_timeout
+                try:
+                    with span(
+                        "request", "server",
+                        method=request.method, path=request.path,
+                    ):
+                        result = await asyncio.wait_for(
+                            self._dispatch(request), self.request_timeout
+                        )
+                except HTTPError as exc:
+                    result = _Result(
+                        exc.status, error_body(exc), headers=exc.headers
+                    )
+                except asyncio.TimeoutError:
+                    exc = HTTPError(
+                        504, "timeout",
+                        f"request exceeded the {self.request_timeout:g}s budget "
+                        "(the compute continues and will be served from cache)",
+                    )
+                    result = _Result(exc.status, error_body(exc))
+                except Exception as exc:  # noqa: BLE001 - last-resort 500
+                    exc = HTTPError(
+                        500, "internal_error", f"{type(exc).__name__}: {exc}"
+                    )
+                    result = _Result(exc.status, error_body(exc))
+                keep = request.keep_alive and not self._closing
+                headers = dict(result.headers)
+                headers.setdefault("X-Request-Id", ctx.request_id)
+                headers.setdefault("Traceparent", ctx.traceparent())
+                writer.write(
+                    render_response(
+                        result.status,
+                        result.body,
+                        content_type=result.content_type,
+                        headers=headers,
+                        keep_alive=keep,
+                    )
                 )
-            except HTTPError as exc:
-                result = _Result(exc.status, error_body(exc), headers=exc.headers)
-            except asyncio.TimeoutError:
-                exc = HTTPError(
-                    504, "timeout",
-                    f"request exceeded the {self.request_timeout:g}s budget "
-                    "(the compute continues and will be served from cache)",
+                await writer.drain()
+                return keep
+            finally:
+                self._end_request()
+                elapsed = perf_counter() - t0
+                status = result.status if result is not None else 500
+                partitioner = (
+                    result.partitioner if result is not None else "none"
                 )
-                result = _Result(exc.status, error_body(exc))
-            except Exception as exc:  # noqa: BLE001 - last-resort 500
-                exc = HTTPError(500, "internal_error", f"{type(exc).__name__}: {exc}")
-                result = _Result(exc.status, error_body(exc))
-            keep = request.keep_alive and not self._closing
-            writer.write(
-                render_response(
-                    result.status,
-                    result.body,
-                    content_type=result.content_type,
-                    headers=result.headers,
-                    keep_alive=keep,
+                source = result.source if result is not None else ""
+                inc(
+                    "server_requests_total",
+                    status=str(status), partitioner=partitioner,
                 )
-            )
-            await writer.drain()
-            return keep
-        finally:
-            self._end_request()
-            inc(
-                "server_requests_total",
-                status=str(result.status) if result is not None else "500",
-                partitioner=result.partitioner if result is not None else "none",
-            )
-            observe("server_request_seconds", perf_counter() - t0)
+                observe("server_request_seconds", elapsed)
+                self.slo.record(status, elapsed)
+                ms = round(1e3 * elapsed, 3)
+                self._recent.append(
+                    {
+                        "ts": round(time.time(), 3),
+                        "method": request.method,
+                        "path": request.path,
+                        "status": status,
+                        "ms": ms,
+                        "source": source,
+                        "partitioner": partitioner,
+                        "request_id": ctx.request_id,
+                        "trace_id": ctx.trace_id,
+                    }
+                )
+                log_event(
+                    "access",
+                    method=request.method,
+                    path=request.path,
+                    status=status,
+                    ms=ms,
+                    source=source,
+                    partitioner=partitioner,
+                )
 
     # -- routing --------------------------------------------------------
 
@@ -339,13 +439,22 @@ class PartitionServer:
             return self._serve_methods()
         if route == ("GET", "/metrics"):
             return self._serve_metrics()
-        known = {"/partition", "/batch", "/healthz", "/methods", "/metrics"}
-        if request.path in known:
+        if route == ("GET", "/debug/vars"):
+            return self._serve_debug_vars()
+        if route == ("GET", "/debug/requests"):
+            return self._serve_debug_requests(request)
+        if route == ("GET", "/debug/profile"):
+            return await self._serve_debug_profile(request)
+        if request.path in KNOWN_ROUTES:
             raise HTTPError(
                 405, "method_not_allowed",
                 f"{request.method} is not supported on {request.path}",
             )
-        raise HTTPError(404, "not_found", f"no route for {request.path}")
+        raise HTTPError(
+            404, "not_found",
+            f"no route for {request.path}; known routes: "
+            + ", ".join(KNOWN_ROUTES),
+        )
 
     def _parse_partition_request(self, data: object) -> PartitionRequest:
         if not isinstance(data, dict):
@@ -366,11 +475,22 @@ class PartitionServer:
         except (UnicodeDecodeError, json.JSONDecodeError) as exc:
             raise HTTPError(400, "bad_json", f"request body is not valid JSON: {exc}")
 
+    def _stamp_identity(self, data: dict) -> dict:
+        """Add the request/trace ids to an outgoing JSON body."""
+        ctx = current_context()
+        if ctx is not None:
+            data["request_id"] = ctx.request_id
+            data["trace_id"] = ctx.trace_id
+        return data
+
     async def _serve_partition(self, request: HTTPRequest) -> _Result:
         preq = self._parse_partition_request(self._decode_json(request.body))
         response = await self._resolve(preq)
         return _Result(
-            200, json_body(response.to_dict()), partitioner=preq.method
+            200,
+            json_body(self._stamp_identity(response.to_dict())),
+            partitioner=preq.method,
+            source=response.source,
         )
 
     async def _serve_batch(self, request: HTTPRequest) -> _Result:
@@ -398,17 +518,25 @@ class PartitionServer:
 
         responses = await asyncio.gather(*(one(item) for item in data))
         return _Result(
-            200, json_body({"schema": 1, "responses": list(responses)})
+            200,
+            json_body(
+                self._stamp_identity(
+                    {"schema": 1, "responses": list(responses)}
+                )
+            ),
+            source="batch",
         )
 
     def _serve_healthz(self) -> _Result:
+        health = self.slo.health()
         payload = {
-            "status": "draining" if self._closing else "ok",
+            "status": "draining" if self._closing else health["status"],
             "inflight": len(self._inflight),
             "max_pending": self.max_pending,
             "jobs": self.engine.jobs,
             "connections": len(self._connections),
             "requests_total": self.engine.stats.total_requests,
+            "slo": health,
         }
         return _Result(200, json_body(payload))
 
@@ -439,6 +567,94 @@ class PartitionServer:
             200,
             text.encode("utf-8"),
             content_type="text/plain; version=0.0.4; charset=utf-8",
+        )
+
+    # -- live introspection ---------------------------------------------
+
+    def _serve_debug_vars(self) -> _Result:
+        payload = {
+            "schema": 1,
+            "build": {
+                "version": __version__,
+                "python": sys.version.split()[0],
+                "platform": sys.platform,
+                "pid": os.getpid(),
+            },
+            "uptime_s": round(time.time() - self._started_at, 3),
+            "server": {
+                "host": self.host,
+                "port": self.port,
+                "closing": self._closing,
+                "connections": len(self._connections),
+                "active_requests": self._active_requests,
+                "max_pending": self.max_pending,
+                "request_timeout_s": self.request_timeout,
+            },
+            "coalescing": {
+                "inflight": len(self._inflight),
+                "keys": [key[:12] for key in self._inflight],
+            },
+            "engine": self.engine.stats.summary(),
+            "cache": self.engine.cache.stats(),
+            "geometry_cache": geometry_cache_stats(),
+            "dss_memo": dss_memo_stats(),
+            "slo": self.slo.health(),
+            "recent_requests": {
+                "size": len(self._recent),
+                "capacity": DEBUG_RING_SIZE,
+            },
+        }
+        return _Result(200, json_body(payload))
+
+    def _serve_debug_requests(self, request: HTTPRequest) -> _Result:
+        entries = list(self._recent)
+        raw = request.query.get("n")
+        if raw is not None:
+            try:
+                n = int(raw)
+            except ValueError:
+                raise HTTPError(400, "bad_query", f"n must be an integer, got {raw!r}")
+            if n < 1:
+                raise HTTPError(400, "bad_query", "n must be >= 1")
+            entries = entries[-n:]
+        payload = {
+            "schema": 1,
+            "capacity": DEBUG_RING_SIZE,
+            "requests": entries,
+        }
+        return _Result(200, json_body(payload))
+
+    async def _serve_debug_profile(self, request: HTTPRequest) -> _Result:
+        raw = request.query.get("seconds", "2")
+        try:
+            seconds = float(raw)
+        except ValueError:
+            raise HTTPError(
+                400, "bad_query", f"seconds must be a number, got {raw!r}"
+            )
+        # The profile must finish inside the request timeout or the
+        # dispatch wrapper would answer 504 while the sampler runs on.
+        limit = min(MAX_SECONDS, 0.8 * self.request_timeout)
+        if not 0 < seconds <= limit:
+            raise HTTPError(
+                400, "bad_query",
+                f"seconds must be in (0, {limit:g}], got {seconds:g}",
+            )
+        # Sampling blocks its thread between ticks, so it runs on the
+        # default thread executor while the event loop keeps serving —
+        # which is exactly what makes the profile representative.
+        sampler = await asyncio.get_running_loop().run_in_executor(
+            None, sample_stacks, seconds
+        )
+        text = sampler.collapsed()
+        return _Result(
+            200,
+            (text + "\n" if text else "").encode("utf-8"),
+            content_type="text/plain; charset=utf-8",
+            headers={
+                "X-Profile-Samples": str(sampler.samples),
+                "X-Profile-Seconds": f"{seconds:g}",
+            },
         )
 
     # -- the serving core: cache -> coalesce -> admit -> compute --------
@@ -485,11 +701,20 @@ class PartitionServer:
             task.exception()  # consume: every waiter may have disconnected
 
     async def _compute(self, request: PartitionRequest):
-        """Run one cache miss in the engine's worker pool."""
+        """Run one cache miss in the engine's worker pool.
+
+        The compute task inherits the *first* requester's trace context
+        (``create_task`` copies the contextvars), so worker-side spans
+        and log records join that request's trace; coalesced joiners
+        share the result but keep their own request ids.
+        """
         loop = asyncio.get_running_loop()
         collect = telemetry_active()
+        ctx = current_context()
         response, payload = await loop.run_in_executor(
-            self.engine.executor(), _pool_compute, (request, collect)
+            self.engine.executor(),
+            _pool_compute,
+            (request, collect, ctx.to_dict() if ctx is not None else None),
         )
         if payload is not None:
             replay_payload(payload)

@@ -18,6 +18,7 @@ from __future__ import annotations
 import asyncio
 import json
 from dataclasses import dataclass, field
+from urllib.parse import parse_qsl
 
 __all__ = [
     "HTTPError",
@@ -84,12 +85,14 @@ class HTTPRequest:
     Attributes:
         method: Upper-case HTTP method (``GET``, ``POST``, ...).
         path: Request target without the query string.
+        query: Decoded query-string parameters (last value wins).
         headers: Header map with lower-cased names.
         body: Raw request body (empty when none was sent).
     """
 
     method: str
     path: str
+    query: dict[str, str] = field(default_factory=dict)
     headers: dict[str, str] = field(default_factory=dict)
     body: bytes = b""
 
@@ -180,8 +183,11 @@ async def read_request(
     elif method in ("POST", "PUT", "PATCH"):
         raise HTTPError(411, "length_required", "POST requires Content-Length")
 
-    path = target.split("?", 1)[0]
-    return HTTPRequest(method=method.upper(), path=path, headers=headers, body=body)
+    path, _, query_string = target.partition("?")
+    query = dict(parse_qsl(query_string, keep_blank_values=True))
+    return HTTPRequest(
+        method=method.upper(), path=path, query=query, headers=headers, body=body
+    )
 
 
 def render_response(

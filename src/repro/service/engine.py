@@ -32,9 +32,13 @@ from time import perf_counter
 from ..partition import registry
 from ..partition.pipeline import run_pipeline
 from ..telemetry import (
+    RequestContext,
+    current_context,
     inc,
+    log_event,
     observe,
     replay_payload,
+    request_context,
     set_gauge,
     span,
     telemetry_active,
@@ -84,19 +88,32 @@ def compute_response(request: PartitionRequest) -> PartitionResponse:
     )
 
 
-def _pool_compute(item: tuple[PartitionRequest, bool]):
+def _pool_compute(item: tuple[PartitionRequest, bool, dict | None]):
     """Pool task: compute one response, optionally with telemetry.
 
     When the parent had a collector active, a fresh worker-local
-    session records every span and metric produced by the computation
-    and ships them back alongside the response (the parent replays the
-    payload into its own collectors).
+    session records every span, metric, and log record produced by the
+    computation and ships them back alongside the response (the parent
+    replays the payload into its own collectors and log sinks).
+
+    ``ctx_dict`` is the request's trace context crossing the process
+    boundary: the worker re-enters it, so worker-side spans and log
+    records carry the same trace id as the server-side request.
     """
-    request, collect = item
+    request, collect, ctx_dict = item
     if not collect:
         return compute_response(request), None
-    with worker_session() as session:
-        response = compute_response(request)
+    with request_context(RequestContext.from_dict(ctx_dict)):
+        with worker_session() as session:
+            response = compute_response(request)
+            log_event(
+                "worker.compute",
+                key=request.cache_key()[:12],
+                method=request.method,
+                ne=request.ne,
+                nparts=request.nparts,
+                elapsed_ms=round(1e3 * response.elapsed_s, 3),
+            )
     return response, session.to_payload()
 
 
@@ -259,6 +276,15 @@ class PartitionEngine:
         for response in self._compute_all(misses):
             self.cache.put(response.request, response)
             resolved[response.request.cache_key()] = response
+            log_event(
+                "engine.compute",
+                key=response.request.cache_key()[:12],
+                method=response.request.method,
+                ne=response.request.ne,
+                nparts=response.request.nparts,
+                elapsed_ms=round(1e3 * response.elapsed_s, 3),
+                jobs=self.jobs,
+            )
 
         # Duplicate requests within the batch share the first
         # occurrence's answer; label repeats ``dedup`` so telemetry
@@ -288,13 +314,15 @@ class PartitionEngine:
         # worker fork/import cost once per engine, not once per batch.
         pool = self._ensure_pool()
         collect = telemetry_active()
+        ctx = current_context()
+        ctx_dict = ctx.to_dict() if ctx is not None else None
         set_gauge("pool_queue_depth", len(misses))
         responses: list[PartitionResponse] = []
         with span("pool", "service", misses=len(misses), jobs=self.jobs):
             # Replay inside the pool span so worker spans re-parent
             # under it in the trace.
             for response, payload in pool.map(
-                _pool_compute, [(req, collect) for req in misses]
+                _pool_compute, [(req, collect, ctx_dict) for req in misses]
             ):
                 if payload is not None:
                     replay_payload(payload)

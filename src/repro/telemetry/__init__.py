@@ -32,6 +32,14 @@ The legacy :mod:`repro.profiling` API (``profiled`` / ``stage`` /
 ``counter``) is a thin compatibility view over this layer.
 """
 
+from .context import (
+    RequestContext,
+    current_context,
+    new_request_id,
+    new_trace_id,
+    parse_traceparent,
+    request_context,
+)
 from .exporters import (
     chrome_trace,
     load_metrics,
@@ -42,6 +50,14 @@ from .exporters import (
     write_prometheus,
     write_run_log,
 )
+from .logs import (
+    JsonLogger,
+    add_sink,
+    close_logging,
+    log_event,
+    read_log,
+    remove_sink,
+)
 from .metrics import (
     BUCKETS_BY_METRIC,
     DEFAULT_BUCKETS,
@@ -51,6 +67,7 @@ from .metrics import (
     Histogram,
     MetricsRegistry,
 )
+from .metrics import HELP_BY_METRIC
 from .runtime import (
     TelemetrySession,
     activate,
@@ -67,27 +84,47 @@ from .runtime import (
 )
 from .spans import Span, SpanCollector
 
+from .sampling import StackSampler, collapse_stacks, sample_stacks
+from .slo import SLOTracker
+
 __all__ = [
     "BUCKETS_BY_METRIC",
     "Counter",
     "DEFAULT_BUCKETS",
     "Gauge",
+    "HELP_BY_METRIC",
     "Histogram",
+    "JsonLogger",
     "MetricsRegistry",
+    "RequestContext",
     "SCHEMA_VERSION",
+    "SLOTracker",
     "Span",
     "SpanCollector",
+    "StackSampler",
     "TelemetrySession",
     "activate",
     "active_profiler",
+    "add_sink",
     "chrome_trace",
+    "close_logging",
+    "collapse_stacks",
+    "current_context",
     "current_session",
     "inc",
     "load_metrics",
+    "log_event",
     "metrics_snapshot",
+    "new_request_id",
+    "new_trace_id",
     "observe",
+    "parse_traceparent",
+    "read_log",
     "read_run_log",
+    "remove_sink",
     "replay_payload",
+    "request_context",
+    "sample_stacks",
     "set_gauge",
     "span",
     "telemetry_active",

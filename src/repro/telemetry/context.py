@@ -1,0 +1,167 @@
+"""Request identity and W3C trace-context propagation.
+
+One :class:`RequestContext` names one request as it moves through the
+stack: a 128-bit ``trace_id`` shared by every span the request touches
+(accept -> admission -> cache/coalesce -> pipeline stages -> worker
+kernels), a 64-bit ``request_id`` that doubles as this hop's span id in
+the outgoing ``traceparent``, and the upstream caller's span id
+(``parent_id``) when the request arrived with a ``traceparent`` header.
+
+The context is carried in a :class:`contextvars.ContextVar`, so it
+follows the request across ``await`` boundaries in the asyncio server
+without leaking between concurrent requests.  Crossing a *process*
+boundary (the engine's worker pool) is explicit: the parent ships
+:meth:`RequestContext.to_dict` with the task and the worker re-enters
+it with :func:`request_context` before computing, which is how worker
+spans and log records end up stamped with the request's trace id.
+
+``traceparent`` parsing/formatting follows the W3C Trace Context
+level-1 format (https://www.w3.org/TR/trace-context/)::
+
+    traceparent: 00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+
+Malformed headers are ignored (a fresh trace starts) rather than
+rejected — observability must never fail a request.
+"""
+
+from __future__ import annotations
+
+import os
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass
+
+__all__ = [
+    "RequestContext",
+    "current_context",
+    "request_context",
+    "new_trace_id",
+    "new_request_id",
+    "parse_traceparent",
+]
+
+_ZERO_TRACE = "0" * 32
+_ZERO_SPAN = "0" * 16
+
+_CONTEXT: ContextVar["RequestContext | None"] = ContextVar(
+    "repro_request_context", default=None
+)
+
+
+def new_trace_id() -> str:
+    """A fresh random 128-bit trace id (32 lowercase hex chars)."""
+    return os.urandom(16).hex()
+
+
+def new_request_id() -> str:
+    """A fresh random 64-bit request/span id (16 lowercase hex chars)."""
+    return os.urandom(8).hex()
+
+
+@dataclass(frozen=True)
+class RequestContext:
+    """One request's identity, propagated through every layer.
+
+    Attributes:
+        trace_id: 32-hex W3C trace id shared by all of the request's
+            spans, across processes.
+        request_id: 16-hex id of this request (also the span id emitted
+            in the outgoing ``traceparent``).
+        parent_id: The caller's 16-hex span id when the request carried
+            a ``traceparent``, else the all-zero id.
+        sampled: The ``sampled`` trace flag (callers that cleared it
+            asked downstream hops not to record).
+    """
+
+    trace_id: str
+    request_id: str
+    parent_id: str = _ZERO_SPAN
+    sampled: bool = True
+
+    @classmethod
+    def new(cls) -> "RequestContext":
+        """A root context: fresh trace, no upstream parent."""
+        return cls(trace_id=new_trace_id(), request_id=new_request_id())
+
+    def traceparent(self) -> str:
+        """The outgoing W3C ``traceparent`` value for this hop."""
+        flags = "01" if self.sampled else "00"
+        return f"00-{self.trace_id}-{self.request_id}-{flags}"
+
+    def to_dict(self) -> dict:
+        """Picklable form for crossing a process boundary."""
+        return {
+            "trace_id": self.trace_id,
+            "request_id": self.request_id,
+            "parent_id": self.parent_id,
+            "sampled": self.sampled,
+        }
+
+    @classmethod
+    def from_dict(cls, data: dict | None) -> "RequestContext | None":
+        if not data:
+            return None
+        return cls(
+            trace_id=str(data.get("trace_id") or _ZERO_TRACE),
+            request_id=str(data.get("request_id") or _ZERO_SPAN),
+            parent_id=str(data.get("parent_id") or _ZERO_SPAN),
+            sampled=bool(data.get("sampled", True)),
+        )
+
+
+def _is_hex(text: str) -> bool:
+    try:
+        int(text, 16)
+    except ValueError:
+        return False
+    return text == text.lower()
+
+
+def parse_traceparent(header: str | None) -> RequestContext | None:
+    """Parse a ``traceparent`` header into a continuation context.
+
+    Returns a context that *continues* the caller's trace: same
+    ``trace_id``, the caller's span id as ``parent_id``, and a fresh
+    ``request_id`` for this hop.  Invalid headers — wrong field count,
+    wrong widths, non-hex, all-zero ids, or an unknown version ``ff`` —
+    return ``None`` (callers start a fresh root trace instead).
+    """
+    if not header:
+        return None
+    parts = header.strip().split("-")
+    if len(parts) < 4:
+        return None
+    version, trace_id, parent_id, flags = parts[0], parts[1], parts[2], parts[3]
+    if len(version) != 2 or not _is_hex(version) or version == "ff":
+        return None
+    # Future versions may append fields; version 00 must have exactly 4.
+    if version == "00" and len(parts) != 4:
+        return None
+    if len(trace_id) != 32 or not _is_hex(trace_id) or trace_id == _ZERO_TRACE:
+        return None
+    if len(parent_id) != 16 or not _is_hex(parent_id) or parent_id == _ZERO_SPAN:
+        return None
+    if len(flags) != 2 or not _is_hex(flags):
+        return None
+    sampled = bool(int(flags, 16) & 0x01)
+    return RequestContext(
+        trace_id=trace_id,
+        request_id=new_request_id(),
+        parent_id=parent_id,
+        sampled=sampled,
+    )
+
+
+def current_context() -> RequestContext | None:
+    """The active request context, or ``None``."""
+    return _CONTEXT.get()
+
+
+@contextmanager
+def request_context(ctx: RequestContext | None):
+    """Install ``ctx`` as the active request context for the block."""
+    token = _CONTEXT.set(ctx)
+    try:
+        yield ctx
+    finally:
+        _CONTEXT.reset(token)

@@ -26,6 +26,7 @@ __all__ = [
     "MetricsRegistry",
     "DEFAULT_BUCKETS",
     "BUCKETS_BY_METRIC",
+    "HELP_BY_METRIC",
 ]
 
 #: Prometheus's classic latency boundaries (seconds) — the fallback.
@@ -51,6 +52,30 @@ BUCKETS_BY_METRIC: dict[str, tuple[float, ...]] = {
     "request_edgecut": _COUNT_BUCKETS,
     "request_tcv_points": _COUNT_BUCKETS,
     "server_request_seconds": _SERVER_LATENCY_BUCKETS,
+}
+
+#: ``# HELP`` text by metric name (exposition format requires one per
+#: family; unknown metrics get a generic line).
+HELP_BY_METRIC: dict[str, str] = {
+    "cache_hits": "Requests answered from the partition cache.",
+    "cache_misses": "Requests that missed the partition cache.",
+    "dss_memo_total": "Shared DSS-operator memo lookups by outcome.",
+    "part_graph_total": "part_graph calls by method and kernel path.",
+    "pool_queue_depth": "Cache misses queued on the engine worker pool.",
+    "request_compute_seconds": "Worker compute time per computed request.",
+    "request_edgecut": "Edge cut of served partitions.",
+    "request_lb_nelemd": "Element load imbalance of served partitions.",
+    "request_lb_spcv": "Comm-volume load imbalance of served partitions.",
+    "request_tcv_points": "Total communication volume (points) served.",
+    "server_coalesced_total": (
+        "Requests that joined another request's in-flight compute."
+    ),
+    "server_queue_depth": "Computes currently in flight on the server.",
+    "server_rejected_total": "Requests rejected by admission control (503).",
+    "server_request_seconds": "Server request latency (accept to response).",
+    "server_requests_total": "HTTP requests served, by status and partitioner.",
+    "service_requests_total": "Partition requests served, by source.",
+    "worker_payloads_merged": "Worker telemetry payloads merged by the parent.",
 }
 
 
@@ -241,11 +266,19 @@ class MetricsRegistry:
     # -- rendering ------------------------------------------------------
 
     def to_prometheus(self) -> str:
-        """Prometheus text exposition format (one metric family per block)."""
+        """Prometheus text exposition format (one metric family per block).
+
+        Emits ``# HELP`` and ``# TYPE`` once per family and escapes
+        label values (backslash, double-quote, newline) per the text
+        format spec, so adversarial label content cannot corrupt the
+        exposition.
+        """
         lines: list[str] = []
         seen_type: set[str] = set()
         for name, labels, metric in self.items():
             if name not in seen_type:
+                help_text = HELP_BY_METRIC.get(name, f"repro {metric.kind}.")
+                lines.append(f"# HELP {name} {_escape_help(help_text)}")
                 lines.append(f"# TYPE {name} {metric.kind}")
                 seen_type.add(name)
             if isinstance(metric, Histogram):
@@ -308,11 +341,28 @@ def _fmt_num(value: float) -> str:
     return repr(float(value))
 
 
+def _escape_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring per the exposition format."""
+    return text.replace("\\", "\\\\").replace("\n", "\\n")
+
+
+def _escape_label_value(value: str) -> str:
+    """Escape one label value per the exposition format."""
+    return (
+        str(value)
+        .replace("\\", "\\\\")
+        .replace('"', '\\"')
+        .replace("\n", "\\n")
+    )
+
+
 def _label_str(labels: dict[str, str], **extra: str) -> str:
     merged = {**labels, **extra}
     if not merged:
         return ""
-    inner = ",".join(f'{k}="{v}"' for k, v in sorted(merged.items()))
+    inner = ",".join(
+        f'{k}="{_escape_label_value(v)}"' for k, v in sorted(merged.items())
+    )
     return "{" + inner + "}"
 
 

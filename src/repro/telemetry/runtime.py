@@ -31,6 +31,7 @@ import uuid
 from contextlib import contextmanager
 from time import perf_counter, time, time_ns
 
+from .context import current_context
 from .metrics import SCHEMA_VERSION, MetricsRegistry
 from .spans import SpanCollector
 
@@ -74,6 +75,9 @@ class TelemetrySession:
         self.tracer = SpanCollector() if trace else None
         self.metrics = MetricsRegistry() if metrics else None
         self.meta = dict(meta or {})
+        #: Captured log records (worker sessions only; see
+        #: :func:`repro.telemetry.logs.capture_records`).
+        self.log_records: list[dict] | None = None
 
     def to_payload(self) -> dict:
         """Picklable export of everything collected (worker -> parent)."""
@@ -84,6 +88,7 @@ class TelemetrySession:
             "metrics": (
                 self.metrics.snapshot() if self.metrics is not None else []
             ),
+            "logs": list(self.log_records) if self.log_records else [],
         }
 
 
@@ -144,12 +149,17 @@ def worker_session():
     """Collector for one task inside a pool worker process.
 
     Replaces any inherited collector (worker processes are forked, so
-    the parent's registry object must not be touched) and exposes
-    :meth:`TelemetrySession.to_payload` for shipping back.
+    the parent's registry object must not be touched), buffers log
+    records instead of writing to inherited sink descriptors, and
+    exposes :meth:`TelemetrySession.to_payload` for shipping back.
     """
+    from .logs import capture_records
+
     session = TelemetrySession(trace=True, metrics=True)
     with activate(session=session, profiler=None):
-        yield session
+        with capture_records() as records:
+            session.log_records = records
+            yield session
 
 
 def current_session() -> TelemetrySession | None:
@@ -191,6 +201,11 @@ def replay_payload(payload: dict | None) -> None:
         for entry in payload.get("metrics") or []:
             if entry.get("kind") == "counter" and not entry.get("labels"):
                 profiler.count(str(entry["name"]), int(entry.get("value", 0)))
+    logs = payload.get("logs")
+    if logs:
+        from .logs import emit_records
+
+        emit_records(logs)
 
 
 # -- instrumentation points --------------------------------------------------
@@ -240,6 +255,13 @@ class _LiveSpan:
             state.profiler.add(self._name, dt)
         session = state.session
         if session is not None and session.tracer is not None:
+            # Stamp the active request's identity on the span, so one
+            # trace id links server, engine, and worker-process spans
+            # (the worker re-enters the context it was shipped).
+            ctx = current_context()
+            if ctx is not None:
+                self._args["trace_id"] = ctx.trace_id
+                self._args["request_id"] = ctx.request_id
             session.tracer.end(
                 self._sid,
                 self._parent,

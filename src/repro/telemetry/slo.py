@@ -1,0 +1,194 @@
+"""Rolling multi-window SLO burn rates for the serving path.
+
+Classic SRE error-budget arithmetic over per-second ring buckets: the
+server records every request's status and latency, and the tracker
+answers "how fast am I burning the error budget?" over several lookback
+windows at once.
+
+Two objectives are tracked:
+
+* **availability** — fraction of requests that must not fail
+  (5xx; client errors are the client's fault and don't burn budget);
+* **latency** — fraction of requests that must finish under
+  ``latency_slo_s``.
+
+For each, the *burn rate* of a window is ``bad_fraction / budget``
+where ``budget = 1 - objective``: burn 1.0 spends the budget exactly at
+the objective, 10.0 spends it ten times too fast.  Health is degraded
+only when **both** a short and a long window burn too fast — the
+standard multi-window rule that ignores one-off blips (short window
+recovers instantly) without missing slow leaks (long window remembers).
+
+Pure stdlib, O(1) per request, O(windows x horizon) memory; the clock
+is injectable so tests can drive time explicitly.
+"""
+
+from __future__ import annotations
+
+from time import monotonic
+
+__all__ = ["SLOTracker"]
+
+#: Requests with these statuses burn availability budget.
+_ERROR_FLOOR = 500
+
+
+class _Ring:
+    """Per-second aggregation buckets over a fixed horizon."""
+
+    __slots__ = ("horizon", "stamps", "count", "errors", "slow", "lat_sum")
+
+    def __init__(self, horizon: int) -> None:
+        self.horizon = horizon
+        self.stamps = [-1] * horizon
+        self.count = [0] * horizon
+        self.errors = [0] * horizon
+        self.slow = [0] * horizon
+        self.lat_sum = [0.0] * horizon
+
+    def _bucket(self, second: int) -> int:
+        i = second % self.horizon
+        if self.stamps[i] != second:
+            self.stamps[i] = second
+            self.count[i] = self.errors[i] = self.slow[i] = 0
+            self.lat_sum[i] = 0.0
+        return i
+
+    def add(self, second: int, error: bool, slow: bool, latency_s: float) -> None:
+        i = self._bucket(second)
+        self.count[i] += 1
+        self.errors[i] += error
+        self.slow[i] += slow
+        self.lat_sum[i] += latency_s
+
+    def window(self, now_second: int, seconds: int) -> tuple[int, int, int, float]:
+        """Totals over the last ``seconds`` full seconds ending now."""
+        count = errors = slow = 0
+        lat_sum = 0.0
+        for second in range(now_second - seconds + 1, now_second + 1):
+            i = second % self.horizon
+            if self.stamps[i] == second:
+                count += self.count[i]
+                errors += self.errors[i]
+                slow += self.slow[i]
+                lat_sum += self.lat_sum[i]
+        return count, errors, slow, lat_sum
+
+
+class SLOTracker:
+    """Multi-window availability + latency burn-rate tracker.
+
+    Args:
+        availability_objective: Target success fraction (e.g. ``0.999``
+            = at most 0.1% of requests may 5xx).
+        latency_slo_s: A request slower than this is "slow".
+        latency_objective: Target fraction of requests under
+            ``latency_slo_s``.
+        windows: Lookback windows in seconds, short to long; the first
+            and last are the fast/slow pair the health rule uses.
+        burn_threshold: Both windows burning above this rate flips
+            health to ``degraded``.
+        clock: Monotonic-seconds source (injectable for tests).
+    """
+
+    def __init__(
+        self,
+        *,
+        availability_objective: float = 0.999,
+        latency_slo_s: float = 0.5,
+        latency_objective: float = 0.99,
+        windows: tuple[int, ...] = (60, 300),
+        burn_threshold: float = 10.0,
+        clock=monotonic,
+    ) -> None:
+        if not 0.0 < availability_objective < 1.0:
+            raise ValueError("availability_objective must be in (0, 1)")
+        if not 0.0 < latency_objective < 1.0:
+            raise ValueError("latency_objective must be in (0, 1)")
+        if latency_slo_s <= 0:
+            raise ValueError("latency_slo_s must be positive")
+        if not windows or any(w < 1 for w in windows) or sorted(windows) != list(
+            windows
+        ):
+            raise ValueError("windows must be ascending positive seconds")
+        self.availability_objective = availability_objective
+        self.latency_slo_s = latency_slo_s
+        self.latency_objective = latency_objective
+        self.windows = tuple(int(w) for w in windows)
+        self.burn_threshold = float(burn_threshold)
+        self._clock = clock
+        self._ring = _Ring(self.windows[-1] + 1)
+        self.total = 0
+        self.total_errors = 0
+
+    def record(self, status: int, latency_s: float) -> None:
+        """Record one served request (any route, any status)."""
+        error = status >= _ERROR_FLOOR
+        slow = latency_s > self.latency_slo_s
+        self.total += 1
+        self.total_errors += error
+        self._ring.add(int(self._clock()), error, slow, float(latency_s))
+
+    def window_stats(self, seconds: int) -> dict:
+        """Rates and burn rates over one lookback window."""
+        count, errors, slow, lat_sum = self._ring.window(
+            int(self._clock()), seconds
+        )
+        error_rate = errors / count if count else 0.0
+        slow_rate = slow / count if count else 0.0
+        return {
+            "seconds": seconds,
+            "count": count,
+            "errors": errors,
+            "slow": slow,
+            "error_rate": round(error_rate, 6),
+            "slow_rate": round(slow_rate, 6),
+            "mean_latency_ms": round(1e3 * lat_sum / count, 3) if count else 0.0,
+            "availability_burn": round(
+                error_rate / (1.0 - self.availability_objective), 3
+            ),
+            "latency_burn": round(
+                slow_rate / (1.0 - self.latency_objective), 3
+            ),
+        }
+
+    def health(self) -> dict:
+        """The multi-window health verdict plus its evidence.
+
+        ``status`` is ``"degraded"`` when the short *and* long windows
+        both burn the availability or the latency budget faster than
+        ``burn_threshold``; otherwise ``"ok"``.
+        """
+        stats = [self.window_stats(w) for w in self.windows]
+        short, long_ = stats[0], stats[-1]
+        availability_hot = (
+            short["availability_burn"] > self.burn_threshold
+            and long_["availability_burn"] > self.burn_threshold
+        )
+        latency_hot = (
+            short["latency_burn"] > self.burn_threshold
+            and long_["latency_burn"] > self.burn_threshold
+        )
+        degraded_by = [
+            name
+            for name, hot in (
+                ("availability", availability_hot),
+                ("latency", latency_hot),
+            )
+            if hot
+        ]
+        return {
+            "status": "degraded" if degraded_by else "ok",
+            "degraded_by": degraded_by,
+            "objectives": {
+                "availability": self.availability_objective,
+                "latency_objective": self.latency_objective,
+                "latency_slo_ms": round(1e3 * self.latency_slo_s, 3),
+                "burn_threshold": self.burn_threshold,
+            },
+            "windows": stats,
+            "lifetime": {
+                "count": self.total,
+                "errors": self.total_errors,
+            },
+        }

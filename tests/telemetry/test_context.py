@@ -1,0 +1,118 @@
+"""Request identity: traceparent parsing, propagation, contextvar."""
+
+from __future__ import annotations
+
+from repro.telemetry import (
+    RequestContext,
+    current_context,
+    parse_traceparent,
+    request_context,
+)
+
+
+class TestRequestContext:
+    def test_new_generates_well_formed_ids(self):
+        ctx = RequestContext.new()
+        assert len(ctx.trace_id) == 32
+        assert len(ctx.request_id) == 16
+        int(ctx.trace_id, 16)
+        int(ctx.request_id, 16)
+        assert ctx.parent_id == "0" * 16
+        assert ctx.sampled
+
+    def test_new_ids_are_distinct(self):
+        a, b = RequestContext.new(), RequestContext.new()
+        assert a.trace_id != b.trace_id
+        assert a.request_id != b.request_id
+
+    def test_traceparent_format(self):
+        ctx = RequestContext(trace_id="ab" * 16, request_id="cd" * 8)
+        assert ctx.traceparent() == f"00-{'ab' * 16}-{'cd' * 8}-01"
+        unsampled = RequestContext(
+            trace_id="ab" * 16, request_id="cd" * 8, sampled=False
+        )
+        assert unsampled.traceparent().endswith("-00")
+
+    def test_dict_round_trip(self):
+        ctx = RequestContext.new()
+        back = RequestContext.from_dict(ctx.to_dict())
+        assert back == ctx
+
+    def test_from_dict_none(self):
+        assert RequestContext.from_dict(None) is None
+        assert RequestContext.from_dict({}) is None
+
+
+class TestParseTraceparent:
+    def test_valid_header_continues_the_trace(self):
+        trace, parent = "ab" * 16, "cd" * 8
+        ctx = parse_traceparent(f"00-{trace}-{parent}-01")
+        assert ctx is not None
+        assert ctx.trace_id == trace
+        assert ctx.parent_id == parent
+        assert ctx.request_id != parent  # fresh span id for this hop
+        assert ctx.sampled
+
+    def test_sampled_flag_parsed(self):
+        ctx = parse_traceparent(f"00-{'ab' * 16}-{'cd' * 8}-00")
+        assert ctx is not None and not ctx.sampled
+
+    def test_round_trip_through_traceparent(self):
+        first = RequestContext.new()
+        second = parse_traceparent(first.traceparent())
+        assert second is not None
+        assert second.trace_id == first.trace_id
+        assert second.parent_id == first.request_id
+
+    def test_malformed_headers_rejected(self):
+        trace, span = "ab" * 16, "cd" * 8
+        bad = [
+            None,
+            "",
+            "garbage",
+            f"00-{trace}-{span}",               # missing flags
+            f"00-{trace}-{span}-01-extra",      # version 00 with 5 fields
+            f"ff-{trace}-{span}-01",            # reserved version
+            f"00-{'0' * 32}-{span}-01",         # all-zero trace id
+            f"00-{trace}-{'0' * 16}-01",        # all-zero parent id
+            f"00-{trace[:-2]}-{span}-01",       # short trace id
+            f"00-{trace}-{span}-0z",            # non-hex flags
+            f"00-{trace.upper()}-{span}-01",    # uppercase hex
+        ]
+        for header in bad:
+            assert parse_traceparent(header) is None, header
+
+    def test_future_version_with_extra_fields_accepted(self):
+        ctx = parse_traceparent(f"01-{'ab' * 16}-{'cd' * 8}-01-whatever")
+        assert ctx is not None
+
+
+class TestContextVar:
+    def test_default_is_none(self):
+        assert current_context() is None
+
+    def test_enter_and_reset(self):
+        ctx = RequestContext.new()
+        with request_context(ctx):
+            assert current_context() is ctx
+            inner = RequestContext.new()
+            with request_context(inner):
+                assert current_context() is inner
+            assert current_context() is ctx
+        assert current_context() is None
+
+    def test_follows_asyncio_tasks(self):
+        import asyncio
+
+        async def main():
+            async def task_ctx(ctx):
+                with request_context(ctx):
+                    await asyncio.sleep(0.001)
+                    return current_context().trace_id
+
+            a, b = RequestContext.new(), RequestContext.new()
+            got = await asyncio.gather(task_ctx(a), task_ctx(b))
+            return got, [a.trace_id, b.trace_id]
+
+        got, want = asyncio.run(main())
+        assert got == want

@@ -1,0 +1,163 @@
+"""Structured JSON-lines logging: sinks, sampling, worker capture."""
+
+from __future__ import annotations
+
+import io
+import json
+
+import pytest
+
+from repro.telemetry import (
+    RequestContext,
+    add_sink,
+    log_event,
+    read_log,
+    remove_sink,
+    request_context,
+)
+from repro.telemetry.logs import JsonLogger, capture_records, emit_records
+
+
+@pytest.fixture
+def stream_sink():
+    stream = io.StringIO()
+    sink = add_sink(stream)
+    yield stream
+    remove_sink(sink)
+
+
+def _records(stream: io.StringIO) -> list[dict]:
+    return [json.loads(line) for line in stream.getvalue().splitlines()]
+
+
+class TestLogEvent:
+    def test_noop_without_sinks(self):
+        log_event("orphan", x=1)  # must not raise, must not write anywhere
+
+    def test_record_shape(self, stream_sink):
+        log_event("unit.test", answer=42)
+        (record,) = _records(stream_sink)
+        assert record["schema"] == 1
+        assert record["event"] == "unit.test"
+        assert record["answer"] == 42
+        assert isinstance(record["ts"], float)
+        assert isinstance(record["pid"], int)
+        assert "trace_id" not in record  # no active request context
+
+    def test_context_ids_stamped(self, stream_sink):
+        ctx = RequestContext.new()
+        with request_context(ctx):
+            log_event("unit.test")
+        (record,) = _records(stream_sink)
+        assert record["trace_id"] == ctx.trace_id
+        assert record["request_id"] == ctx.request_id
+
+    def test_multiple_sinks_each_get_the_record(self, stream_sink):
+        other = io.StringIO()
+        sink = add_sink(other)
+        try:
+            log_event("unit.test")
+        finally:
+            remove_sink(sink)
+        assert len(_records(stream_sink)) == 1
+        assert len(_records(other)) == 1
+
+    def test_dead_sink_never_fails_a_request(self):
+        class Dead:
+            def write(self, *_):
+                raise OSError("gone")
+
+            def flush(self):
+                raise OSError("gone")
+
+        sink = add_sink(Dead())
+        try:
+            log_event("unit.test")  # swallowed
+        finally:
+            remove_sink(sink)
+
+
+class TestFilteringAndSampling:
+    def test_event_filter(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        sink = add_sink(path, events={"access"})
+        try:
+            log_event("access", status=200)
+            log_event("engine.compute", ms=1.0)
+        finally:
+            remove_sink(sink)
+        records = read_log(path)
+        assert [r["event"] for r in records] == ["access"]
+
+    def test_sample_keeps_whole_traces(self):
+        logger = JsonLogger(io.StringIO(), sample=0.5)
+        kept_by_trace = {}
+        for _ in range(50):
+            ctx = RequestContext.new()
+            decisions = {
+                logger.accepts(
+                    {"event": "a", "trace_id": ctx.trace_id}
+                )
+                for _ in range(3)
+            }
+            assert len(decisions) == 1  # all-or-nothing per trace
+            kept_by_trace[ctx.trace_id] = decisions.pop()
+        kept = sum(kept_by_trace.values())
+        assert 0 < kept < 50  # statistically certain at sample=0.5
+
+    def test_context_free_records_always_pass(self):
+        logger = JsonLogger(io.StringIO(), sample=0.001)
+        assert logger.accepts({"event": "boot"})
+
+    def test_bad_sample_rejected(self):
+        with pytest.raises(ValueError):
+            JsonLogger(io.StringIO(), sample=0.0)
+        with pytest.raises(ValueError):
+            JsonLogger(io.StringIO(), sample=1.5)
+
+
+class TestWorkerCapture:
+    def test_capture_masks_sinks_and_replays(self, stream_sink):
+        with capture_records() as records:
+            log_event("worker.compute", ms=2.0)
+        assert _records(stream_sink) == []  # masked during capture
+        assert [r["event"] for r in records] == ["worker.compute"]
+        emit_records(records)
+        (record,) = _records(stream_sink)
+        assert record["event"] == "worker.compute"
+
+    def test_replay_applies_sink_filters(self, tmp_path):
+        path = tmp_path / "access.jsonl"
+        with capture_records() as records:
+            log_event("worker.compute")
+            log_event("access")
+        sink = add_sink(path, events={"access"})
+        try:
+            emit_records(records)
+        finally:
+            remove_sink(sink)
+        assert [r["event"] for r in read_log(path)] == ["access"]
+
+    def test_emit_tolerates_garbage(self, stream_sink):
+        emit_records(None)
+        emit_records([])
+        emit_records(["not-a-dict", {"event": "ok"}])
+        (record,) = _records(stream_sink)
+        assert record["event"] == "ok"
+
+
+class TestFileSink:
+    def test_appends_and_reads_back(self, tmp_path):
+        path = tmp_path / "logs" / "run.jsonl"
+        for round_ in range(2):
+            sink = add_sink(path)
+            try:
+                log_event("round", n=round_)
+            finally:
+                remove_sink(sink)
+        assert [r["n"] for r in read_log(path)] == [0, 1]
+
+    def test_read_log_skips_bad_lines(self, tmp_path):
+        path = tmp_path / "run.jsonl"
+        path.write_text('{"event": "ok"}\nnot json\n[1, 2]\n\n')
+        assert [r["event"] for r in read_log(path)] == ["ok"]

@@ -139,3 +139,64 @@ class TestRendering:
         text = reg.render()
         assert "hits" in text
         assert "request_lb_nelemd" in text
+
+
+class TestPrometheusExposition:
+    def test_help_lines_once_per_family(self):
+        reg = MetricsRegistry()
+        reg.counter("cache_hits").inc()
+        reg.counter("server_requests_total", status="200").inc()
+        reg.counter("server_requests_total", status="503").inc()
+        text = reg.to_prometheus()
+        assert (
+            "# HELP cache_hits Requests answered from the partition cache."
+            in text
+        )
+        assert text.count("# HELP server_requests_total") == 1
+        assert text.count("# TYPE server_requests_total") == 1
+
+    def test_help_precedes_type_per_family(self):
+        reg = MetricsRegistry()
+        reg.counter("cache_hits").inc()
+        reg.histogram("server_request_seconds").observe(0.01)
+        lines = reg.to_prometheus().splitlines()
+        for i, line in enumerate(lines):
+            if line.startswith("# TYPE "):
+                family = line.split()[2]
+                assert lines[i - 1].startswith(f"# HELP {family} ")
+
+    def test_unknown_metric_gets_generic_help(self):
+        reg = MetricsRegistry()
+        reg.gauge("totally_new_gauge").set(3)
+        assert "# HELP totally_new_gauge repro gauge." in reg.to_prometheus()
+
+    def test_label_values_escaped(self):
+        reg = MetricsRegistry()
+        reg.counter("evil", path='a"b\\c\nd').inc()
+        text = reg.to_prometheus()
+        assert '\npath' not in text  # the newline must not split the line
+        assert 'evil{path="a\\"b\\\\c\\nd"} 1' in text
+
+    def test_help_text_escaped(self):
+        from repro.telemetry.metrics import _escape_help
+
+        assert _escape_help("a\\b\nc") == "a\\\\b\\nc"
+
+    def test_exposition_round_trips_every_line(self):
+        import re
+
+        reg = MetricsRegistry()
+        reg.counter("cache_hits").inc(2)
+        reg.counter("server_requests_total", status="200").inc()
+        reg.gauge("server_queue_depth").set(1)
+        reg.histogram("server_request_seconds").observe(0.002)
+        sample = re.compile(
+            r'^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^{}]*\})? -?[0-9.eE+\-]+$'
+        )
+        for line in reg.to_prometheus().splitlines():
+            if not line:
+                continue
+            if line.startswith("#"):
+                assert line.startswith(("# HELP ", "# TYPE "))
+                continue
+            assert sample.match(line), line

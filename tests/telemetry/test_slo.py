@@ -1,0 +1,124 @@
+"""Multi-window SLO burn rates: the /healthz verdict arithmetic."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.telemetry import SLOTracker
+
+
+class FakeClock:
+    def __init__(self) -> None:
+        self.now = 1000.0
+
+    def __call__(self) -> float:
+        return self.now
+
+    def tick(self, seconds: float) -> None:
+        self.now += seconds
+
+
+@pytest.fixture
+def clock():
+    return FakeClock()
+
+
+def _tracker(clock, **kwargs) -> SLOTracker:
+    kwargs.setdefault("windows", (10, 60))
+    kwargs.setdefault("burn_threshold", 10.0)
+    return SLOTracker(clock=clock, **kwargs)
+
+
+class TestRecording:
+    def test_healthy_traffic_is_ok(self, clock):
+        slo = _tracker(clock)
+        for _ in range(100):
+            slo.record(200, 0.01)
+            clock.tick(0.05)
+        health = slo.health()
+        assert health["status"] == "ok"
+        assert health["degraded_by"] == []
+        assert health["lifetime"] == {"count": 100, "errors": 0}
+
+    def test_client_errors_do_not_burn_budget(self, clock):
+        slo = _tracker(clock)
+        for _ in range(50):
+            slo.record(422, 0.01)
+        stats = slo.window_stats(10)
+        assert stats["errors"] == 0
+        assert stats["availability_burn"] == 0.0
+
+    def test_slow_requests_burn_latency_budget(self, clock):
+        slo = _tracker(clock, latency_slo_s=0.1, latency_objective=0.99)
+        for _ in range(10):
+            slo.record(200, 0.5)
+        stats = slo.window_stats(10)
+        assert stats["slow"] == 10
+        assert stats["latency_burn"] == pytest.approx(100.0)
+
+
+class TestMultiWindowRule:
+    def test_sustained_errors_degrade(self, clock):
+        slo = _tracker(clock)
+        # 100% 5xx across both windows: burn 1000x in each.
+        for _ in range(120):
+            slo.record(500, 0.01)
+            clock.tick(0.5)
+        health = slo.health()
+        assert health["status"] == "degraded"
+        assert "availability" in health["degraded_by"]
+
+    def test_old_blip_recovers_via_short_window(self, clock):
+        slo = _tracker(clock)
+        for _ in range(30):
+            slo.record(500, 0.01)
+        # 20 quiet-but-healthy seconds: the 10s window forgets the
+        # blip, the 60s window still remembers it.
+        for _ in range(40):
+            clock.tick(0.5)
+            slo.record(200, 0.01)
+        long_window = slo.window_stats(60)
+        assert long_window["errors"] == 30
+        assert slo.health()["status"] == "ok"  # short window is clean
+
+    def test_short_spike_alone_does_not_degrade(self, clock):
+        slo = _tracker(clock)
+        # A long healthy history, then a brief 5xx spike: the short
+        # window burns hot but the long window dilutes it below the
+        # threshold, so the verdict stays ok.
+        for _ in range(1500):
+            slo.record(200, 0.01)
+            clock.tick(0.05)
+        for _ in range(3):
+            slo.record(500, 0.01)
+            clock.tick(0.1)
+        assert slo.window_stats(10)["availability_burn"] > 10.0
+        assert slo.health()["status"] == "ok"
+
+    def test_empty_tracker_is_ok(self, clock):
+        health = _tracker(clock).health()
+        assert health["status"] == "ok"
+        assert health["windows"][0]["count"] == 0
+
+
+class TestExpiry:
+    def test_ring_forgets_beyond_horizon(self, clock):
+        slo = _tracker(clock)
+        slo.record(500, 0.01)
+        clock.tick(61)
+        assert slo.window_stats(60)["count"] == 0
+        assert slo.total == 1  # lifetime totals never expire
+
+
+class TestValidation:
+    def test_bad_objectives_rejected(self, clock):
+        with pytest.raises(ValueError):
+            SLOTracker(availability_objective=1.0, clock=clock)
+        with pytest.raises(ValueError):
+            SLOTracker(latency_objective=0.0, clock=clock)
+        with pytest.raises(ValueError):
+            SLOTracker(latency_slo_s=0.0, clock=clock)
+        with pytest.raises(ValueError):
+            SLOTracker(windows=(60, 10), clock=clock)
+        with pytest.raises(ValueError):
+            SLOTracker(windows=(), clock=clock)
