@@ -199,6 +199,28 @@ def build_parser() -> argparse.ArgumentParser:
         choices=methods,
     )
     p_part.add_argument("--seed", type=int, default=0)
+    wgroup = p_part.add_mutually_exclusive_group()
+    wgroup.add_argument(
+        "--weights",
+        type=Path,
+        metavar="FILE",
+        help="per-element weights (.npy array, .csv column, or .json "
+        "list); cuts balance weight instead of element count",
+    )
+    wgroup.add_argument(
+        "--scenario",
+        type=str,
+        metavar="NAME",
+        help="named weight scenario (storm, daynight, amr, ...); "
+        "weights are generated deterministically for --ne",
+    )
+    p_part.add_argument(
+        "--scenario-step",
+        type=int,
+        default=0,
+        metavar="N",
+        help="trajectory step for --scenario (default: 0)",
+    )
     p_part.add_argument("--csv", action="store_true", help="CSV metric output")
     p_part.add_argument(
         "--write-assignment", type=Path, help="write gid->part as CSV"
@@ -576,24 +598,77 @@ def _cmd_partition(args: argparse.Namespace) -> int:
     )
 
 
+def _load_weights_file(path: Path):
+    """Load a per-element weight array by extension (.npy/.csv/.json)."""
+    import json as _json
+
+    import numpy as np
+
+    suffix = path.suffix.lower()
+    if suffix == ".npy":
+        return np.load(path)
+    text = path.read_text()
+    if suffix == ".json":
+        return np.asarray(_json.loads(text), dtype=np.float64)
+    # CSV (or headerless text): one weight per line / comma-separated.
+    import io
+
+    return np.loadtxt(io.StringIO(text), delimiter=",", dtype=np.float64).ravel()
+
+
+def _weights_arg(args: argparse.Namespace):
+    """The request weights payload from --weights/--scenario flags."""
+    if getattr(args, "weights", None) is not None:
+        try:
+            return _load_weights_file(args.weights)
+        except FileNotFoundError:
+            raise SystemExit(
+                f"repro: error: weights file '{args.weights}' not found"
+            )
+        except ValueError as exc:
+            raise SystemExit(
+                f"repro: error: cannot parse weights file "
+                f"'{args.weights}': {exc}"
+            )
+    if getattr(args, "scenario", None):
+        return {"scenario": args.scenario, "step": args.scenario_step}
+    return None
+
+
 def _partition_body(args: argparse.Namespace) -> int:
     from .service import PartitionRequest
 
-    request = PartitionRequest(
-        ne=args.ne, nparts=args.nparts, method=args.method, seed=args.seed
-    )
+    try:
+        request = PartitionRequest(
+            ne=args.ne, nparts=args.nparts, method=args.method,
+            seed=args.seed, weights=_weights_arg(args),
+        )
+    except ValueError as exc:
+        raise SystemExit(f"repro: error: {exc}")
     with _make_engine(args) as engine:
         response = engine.serve(request)
     m = response.metrics
+    weighted = request.weights is not None
     if args.csv:
-        print("method,nparts,lb_nelemd,lb_spcv,edgecut,tcv_points")
+        print("method,nparts,lb_nelemd,lb_weight,lb_spcv,edgecut,tcv_points")
         print(
             f"{args.method},{args.nparts},{m['lb_nelemd']:.6f},"
+            f"{m['lb_weight']:.6f},"
             f"{m['lb_spcv']:.6f},{m['edgecut']},{m['total_volume_points']}"
         )
     else:
-        print(f"K={request.k} method={args.method} nparts={args.nparts}")
+        tag = ""
+        if weighted:
+            spec = request.weights
+            tag = (
+                f" scenario={spec.scenario}:{spec.step}"
+                if spec.scenario is not None
+                else " weighted"
+            )
+        print(f"K={request.k} method={args.method} nparts={args.nparts}{tag}")
         print(f"LB(nelemd)   = {m['lb_nelemd']:.4f}")
+        if weighted:
+            print(f"LB(weight)   = {m['lb_weight']:.4f}")
         print(f"LB(spcv)     = {m['lb_spcv']:.4f}")
         print(f"edgecut      = {m['edgecut']}")
         print(f"TCV (points) = {m['total_volume_points']}")

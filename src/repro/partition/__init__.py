@@ -26,7 +26,9 @@ from . import registry
 from .repartition import (
     LoadTracker,
     MigrationCost,
+    RepartitionPlan,
     migration_cost,
+    plan_repartition,
     repartition_curve,
 )
 from .metrics import (
@@ -44,6 +46,7 @@ from .sfc import (
     keyed_cut,
     morton_partition,
     partition_curve,
+    refine_cut_positions,
     sfc_partition,
 )
 
@@ -81,6 +84,9 @@ __all__ = [
     "load_balance",
     "migration_cost",
     "morton_partition",
+    "plan_repartition",
+    "refine_cut_positions",
+    "RepartitionPlan",
     "repartition_curve",
     "partition_curve",
     "random_partition",

@@ -56,7 +56,9 @@ __all__ = [
 STAGE_VERSIONS: dict[str, int] = {
     "mesh": 1,
     "graph": 1,
-    "partition": 1,
+    # v2: weighted cuts gained the iterative correction pass and the
+    # exact uniform-weights reduction (weighted outputs changed).
+    "partition": 2,
     "evaluate": 1,
 }
 
@@ -191,6 +193,7 @@ def partition_stage(
         partitioner=spec.name,
         ne=int(ne),
         nparts=int(nparts),
+        weighted=problem.weights is not None,
         version=STAGE_VERSIONS["partition"],
     ):
         return spec(problem)

@@ -55,7 +55,51 @@ __all__ = [
     "register",
     "specs",
     "unregister",
+    "validate_weights",
+    "weighted_methods",
 ]
+
+
+def validate_weights(weights, k: int | None = None) -> np.ndarray:
+    """Normalize and validate a per-element weight array.
+
+    The single weight-sanity gate shared by every boundary — request
+    parsing, :class:`PartitionProblem` construction, the repartition
+    planner — so a bad weight vector fails the same way everywhere
+    (and maps to HTTP 422 at the server) instead of silently producing
+    garbage cuts.
+
+    Args:
+        weights: Array-like of per-element weights.
+        k: Required length (``6 ne^2``), or ``None`` to skip the check.
+
+    Returns:
+        A contiguous 1-D float64 copy-if-needed view of ``weights``.
+
+    Raises:
+        ValueError: Non-1-D, wrong length, non-finite (NaN/inf), or
+            non-positive entries — each with a message naming the
+            offending property.
+    """
+    arr = np.asarray(weights, dtype=np.float64)
+    if arr.ndim != 1:
+        raise ValueError(f"weights must be a 1-D array, got shape {arr.shape}")
+    if k is not None and len(arr) != k:
+        raise ValueError(
+            f"weights must have one entry per element: expected {k}, "
+            f"got {len(arr)}"
+        )
+    if not np.isfinite(arr).all():
+        bad = int(np.flatnonzero(~np.isfinite(arr))[0])
+        raise ValueError(
+            f"weights must be finite; entry {bad} is {arr[bad]}"
+        )
+    if (arr <= 0).any():
+        bad = int(np.flatnonzero(arr <= 0)[0])
+        raise ValueError(
+            f"weights must be positive; entry {bad} is {arr[bad]}"
+        )
+    return np.ascontiguousarray(arr)
 
 
 class UnknownPartitionerError(ValueError):
@@ -95,6 +139,12 @@ class PartitionProblem:
     seed: int = 0
     schedule: str | None = None
     weights: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.weights is not None:
+            object.__setattr__(
+                self, "weights", validate_weights(self.weights, self.k)
+            )
 
     @property
     def k(self) -> int:

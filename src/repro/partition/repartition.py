@@ -8,10 +8,15 @@ re-cutting the same one-dimensional curve: elements only migrate to
 graph computation is needed.  This module implements that story for
 the cubed-sphere:
 
-* :func:`repartition_curve` — cut the existing global curve under new
-  weights;
+* :func:`repartition_curve` — re-cut the curve under new weights, on
+  the streaming key path (the curve is never materialized when you
+  pass ``ne``; a prebuilt :class:`CubedSphereCurve` also works);
 * :func:`migration_cost` — how many elements (and how much weight)
   change owners between two partitions;
+* :func:`plan_repartition` — the service-facing verb: given an old
+  assignment and new weights, produce a :class:`RepartitionPlan`
+  (moved gids per destination rank, elements/weight moved, LB before
+  and after) without touching elements that stay put;
 * :class:`LoadTracker` — convenience driver for a time series of
   weights (e.g. a storm moving around the sphere), recording balance
   and migration per rebalancing step.
@@ -19,16 +24,25 @@ the cubed-sphere:
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Callable
 
 import numpy as np
 
-from ..cubesphere.curve import CubedSphereCurve
+from ..cubesphere.curve import CubedSphereCurve, element_keys
 from .base import Partition
 from .metrics import load_balance
-from .sfc import partition_curve
+from .registry import PartitionProblem, get as get_partitioner, validate_weights
+from .sfc import keyed_cut
 
-__all__ = ["MigrationCost", "migration_cost", "repartition_curve", "LoadTracker"]
+__all__ = [
+    "LoadTracker",
+    "MigrationCost",
+    "RepartitionPlan",
+    "migration_cost",
+    "plan_repartition",
+    "repartition_curve",
+]
 
 
 @dataclass(frozen=True)
@@ -77,10 +91,33 @@ def migration_cost(
     )
 
 
+def _curve_keys(
+    curve: CubedSphereCurve | int,
+    schedule: str | None,
+) -> tuple[Callable[[np.ndarray], np.ndarray], int]:
+    """Key function + cell count for a curve given by ``ne`` or object.
+
+    Passing ``ne`` (the fast path) streams keys through
+    :func:`repro.cubesphere.curve.element_keys`, so trajectories at
+    Ne >= 256 never materialize — or rebuild — the curve per step.
+    """
+    if isinstance(curve, (int, np.integer)):
+        ne = int(curve)
+        return (lambda ids: element_keys(ne, schedule, gids=ids)), 6 * ne * ne
+    if schedule is not None and schedule != curve.schedule:
+        raise ValueError(
+            f"schedule {schedule!r} conflicts with the curve's "
+            f"({curve.schedule!r}); pass ne instead of a curve to rekey"
+        )
+    return (lambda ids: curve.position[ids]), len(curve)
+
+
 def repartition_curve(
-    curve: CubedSphereCurve,
+    curve: CubedSphereCurve | int,
     weights: np.ndarray,
     nparts: int,
+    schedule: str | None = None,
+    chunk: int | None = None,
 ) -> Partition:
     """Re-cut the global curve for new element weights.
 
@@ -88,8 +125,152 @@ def repartition_curve(
     shift the cut points, so elements migrate between *neighboring*
     ranks — the property that makes SFC rebalancing cheap in adaptive
     codes (tested: migration stays far below a fresh graph partition's).
+
+    Args:
+        curve: The global SFC — either a materialized
+            :class:`CubedSphereCurve` or just ``ne`` (streams uint64
+            keys; nothing is materialized or rebuilt per step).
+        weights: Per-element (gid-indexed) positive weights.
+        nparts: Number of processors.
+        schedule: Refinement schedule (only with ``curve`` given as
+            ``ne``; a curve object carries its own).
+        chunk: Elements keyed per streaming pass.
+
+    Returns:
+        A :class:`Partition` labeled ``"sfc-rebal"``.
     """
-    return partition_curve(curve, nparts, weights=weights).with_method("sfc-rebal")
+    key_fn, ncells = _curve_keys(curve, schedule)
+    weights = validate_weights(weights, ncells)
+    return keyed_cut(
+        key_fn, ncells, nparts, weights=weights, chunk=chunk, method="sfc-rebal"
+    )
+
+
+@dataclass(frozen=True)
+class RepartitionPlan:
+    """A migration-minimizing diff plan between two assignments.
+
+    Attributes:
+        nparts: Processor count of the new assignment.
+        method: Partitioner that produced the new assignment.
+        new_assignment: ``(K,)`` int64 owner per element.
+        moves: Destination rank -> gids that *arrive* there (elements
+            whose owner changed; stationary elements never appear).
+        elements_moved: Total count of elements changing owner.
+        weight_moved: Total new-weight of the moved elements.
+        fraction_moved: ``elements_moved / K``.
+        lb_before: Load imbalance of the *new* weights under the old
+            assignment (what you'd suffer by not rebalancing).
+        lb_after: Load imbalance of the new weights under the new
+            assignment.
+    """
+
+    nparts: int
+    method: str
+    new_assignment: np.ndarray = field(repr=False)
+    moves: dict[int, np.ndarray] = field(repr=False)
+    elements_moved: int = 0
+    weight_moved: float = 0.0
+    fraction_moved: float = 0.0
+    lb_before: float = 0.0
+    lb_after: float = 0.0
+
+    def to_dict(self, include_assignment: bool = False) -> dict:
+        """JSON-able form (gid lists per destination rank)."""
+        out = {
+            "nparts": int(self.nparts),
+            "method": self.method,
+            "moves": {
+                str(rank): np.asarray(gids).tolist()
+                for rank, gids in self.moves.items()
+            },
+            "elements_moved": int(self.elements_moved),
+            "weight_moved": float(self.weight_moved),
+            "fraction_moved": float(self.fraction_moved),
+            "lb_before": float(self.lb_before),
+            "lb_after": float(self.lb_after),
+        }
+        if include_assignment:
+            out["assignment"] = np.asarray(self.new_assignment).tolist()
+        return out
+
+
+def plan_repartition(
+    old_assignment: np.ndarray,
+    weights: np.ndarray,
+    *,
+    ne: int,
+    nparts: int | None = None,
+    method: str = "sfc",
+    seed: int = 0,
+    schedule: str | None = None,
+) -> RepartitionPlan:
+    """Plan the migration from an old assignment to freshly cut parts.
+
+    Builds the new partition for ``weights`` via the registry (so
+    capability contracts — weight support, admissible ``ne`` — are
+    enforced exactly as for a fresh partition request), then diffs it
+    against ``old_assignment``: only elements whose owner changes
+    appear in the plan, grouped by destination rank.
+
+    Args:
+        old_assignment: ``(6 ne^2,)`` current owner per element.
+        weights: New per-element positive weights.
+        ne: Elements per cube-face edge.
+        nparts: New processor count (default: inferred from the old
+            assignment; may differ to grow/shrink the job).
+        method: Registered weighted method cutting the new partition.
+        seed: Determinism seed (seeded methods only).
+        schedule: Optional refinement schedule.
+
+    Returns:
+        The :class:`RepartitionPlan`.
+
+    Raises:
+        ValueError: Malformed old assignment or weights.
+        CapabilityError: ``method`` cannot honor the problem (e.g. it
+            does not support weights).
+    """
+    k = 6 * int(ne) * int(ne)
+    old = np.asarray(old_assignment, dtype=np.int64)
+    if old.ndim != 1 or len(old) != k:
+        raise ValueError(
+            f"old_assignment must have one owner per element: expected "
+            f"{k} entries for ne={ne}, got shape {old.shape}"
+        )
+    if len(old) and old.min() < 0:
+        raise ValueError("old_assignment owners must be >= 0")
+    if nparts is None:
+        nparts = int(old.max()) + 1 if len(old) else 1
+    weights = validate_weights(weights, k)
+    spec = get_partitioner(method)
+    new = spec(PartitionProblem(
+        ne=int(ne), nparts=int(nparts), seed=int(seed),
+        schedule=schedule, weights=weights,
+    ))
+    if method == "sfc":
+        new = new.with_method("sfc-rebal")
+    moved = np.flatnonzero(new.assignment != old)
+    dests = new.assignment[moved]
+    moves = {
+        int(rank): moved[dests == rank]
+        for rank in np.unique(dests)
+    }
+    # LB-before bins every *old* owner even when shrinking nparts.
+    old_nparts = (int(old.max()) + 1) if len(old) else 1
+    before = np.bincount(old, weights=weights, minlength=old_nparts)
+    after = np.bincount(new.assignment, weights=weights, minlength=int(nparts))
+    return RepartitionPlan(
+        nparts=int(nparts),
+        method=new.method,
+        new_assignment=new.assignment,
+        moves=moves,
+        elements_moved=int(len(moved)),
+        weight_moved=float(weights[moved].sum()),
+        fraction_moved=float(len(moved)) / k if k else 0.0,
+        lb_before=load_balance(before),
+        lb_after=load_balance(after),
+    )
 
 
 @dataclass
@@ -97,12 +278,16 @@ class LoadTracker:
     """Drive a sequence of rebalancing steps over changing weights.
 
     Args:
-        curve: The fixed global SFC over the mesh.
+        curve: The fixed global SFC — a :class:`CubedSphereCurve`, or
+            just ``ne`` to use the streaming key path (preferred at
+            Ne >= 256: nothing is rebuilt per step).
         nparts: Processor count.
+        schedule: Refinement schedule (with ``curve`` given as ``ne``).
     """
 
-    curve: CubedSphereCurve
+    curve: CubedSphereCurve | int
     nparts: int
+    schedule: str | None = None
 
     def __post_init__(self) -> None:
         self.current: Partition | None = None
@@ -114,7 +299,9 @@ class LoadTracker:
         Returns:
             The new partition.
         """
-        new = repartition_curve(self.curve, weights, self.nparts)
+        new = repartition_curve(
+            self.curve, weights, self.nparts, schedule=self.schedule
+        )
         loads = np.bincount(
             new.assignment, weights=weights, minlength=self.nparts
         )

@@ -12,7 +12,12 @@ Two cutting rules are provided:
   giving earlier segments the extra element), the paper's rule;
 * :func:`cut_positions_weighted` — greedy prefix-sum cuts for weighted
   elements, the standard SFC generalization used by adaptive codes
-  (Pilkington & Baden), exposed for the weighted-load extension.
+  (Pilkington & Baden), followed by the iterative correction pass of
+  Borrell et al. (:func:`refine_cut_positions`): single-element
+  boundary shifts accepted only when they strictly reduce the larger
+  of the two adjacent segment loads, so the refined cuts are provably
+  never worse than the greedy ones.  Under uniform weights the rule
+  short-circuits to :func:`cut_positions_uniform` exactly.
 
 Two cutting *paths* apply the rules:
 
@@ -46,6 +51,7 @@ __all__ = [
     "keyed_cut",
     "morton_partition",
     "partition_curve",
+    "refine_cut_positions",
     "sfc_partition",
 ]
 
@@ -74,16 +80,25 @@ def cut_positions_uniform(ncells: int, nparts: int) -> np.ndarray:
     return bounds
 
 
-def cut_positions_weighted(weights: np.ndarray, nparts: int) -> np.ndarray:
+def cut_positions_weighted(
+    weights: np.ndarray, nparts: int, refine: bool = True
+) -> np.ndarray:
     """Segment boundaries balancing the weight prefix sums.
 
     Cuts the curve where the running weight crosses multiples of
-    ``total / nparts`` — the classical 1-D chains-on-chains heuristic.
-    Every segment is non-empty provided ``nparts <= len(weights)``.
+    ``total / nparts`` — the classical 1-D chains-on-chains heuristic —
+    then (by default) applies the iterative correction pass of Borrell
+    et al. (:func:`refine_cut_positions`), which can only improve the
+    load balance.  Every segment is non-empty provided
+    ``nparts <= len(weights)``.  Uniform weights reduce *exactly* to
+    :func:`cut_positions_uniform` (equal counts, larger segments
+    first), so weighted and unweighted requests with trivial weights
+    produce identical partitions.
 
     Args:
         weights: Positive weight of each cell *in curve order*.
         nparts: Number of segments.
+        refine: Apply the correction pass after the greedy cuts.
     """
     weights = np.asarray(weights, dtype=np.float64)
     ncells = len(weights)
@@ -93,6 +108,8 @@ def cut_positions_weighted(weights: np.ndarray, nparts: int) -> np.ndarray:
         raise ValueError(f"more parts ({nparts}) than cells ({ncells})")
     if (weights <= 0).any():
         raise ValueError("weights must be positive")
+    if ncells and (weights == weights[0]).all():
+        return cut_positions_uniform(ncells, nparts)
     prefix = np.cumsum(weights)
     total = prefix[-1]
     targets = total * np.arange(1, nparts) / nparts
@@ -108,6 +125,69 @@ def cut_positions_weighted(weights: np.ndarray, nparts: int) -> np.ndarray:
             bounds[p] = bounds[p + 1] - 1
     if bounds[0] != 0 or bounds[-1] != ncells or (np.diff(bounds) < 1).any():
         raise ValueError("cannot produce non-empty segments")
+    if refine:
+        bounds = refine_cut_positions(weights, bounds)
+    return bounds
+
+
+def refine_cut_positions(
+    weights: np.ndarray,
+    bounds: np.ndarray,
+    max_sweeps: int | None = None,
+) -> np.ndarray:
+    """Iterative correction pass over segment boundaries (Borrell et al.).
+
+    Sweeps the interior cut positions, shifting one element at a time
+    across a boundary whenever that *strictly reduces the larger* of
+    the two adjacent segment loads (and keeps both segments non-empty).
+    Segment loads are always recomputed from one fixed prefix-sum
+    array, so they are a pure function of the bounds: each accepted
+    shift strictly decreases the sorted load vector lexicographically,
+    which guarantees termination and that the final maximum load —
+    hence LB — is never worse than the input cuts'.
+
+    Args:
+        weights: Positive weight of each cell in curve order.
+        bounds: ``(nparts + 1,)`` cut positions (not modified).
+        max_sweeps: Optional safety cap on full sweeps; by default the
+            pass runs to its (guaranteed) fixpoint.
+
+    Returns:
+        A new bounds array of the same shape.
+    """
+    weights = np.asarray(weights, dtype=np.float64)
+    bounds = np.array(bounds, dtype=np.int64)
+    nparts = len(bounds) - 1
+    prefix = np.concatenate([[0.0], np.cumsum(weights)])
+
+    def load(p: int) -> float:
+        return prefix[bounds[p + 1]] - prefix[bounds[p]]
+
+    sweeps = 0
+    moved = True
+    while moved and (max_sweeps is None or sweeps < max_sweeps):
+        moved = False
+        sweeps += 1
+        for p in range(1, nparts):
+            while True:
+                left, right = load(p - 1), load(p)
+                worse = max(left, right)
+                b = bounds[p]
+                # Shift the left segment's last element rightward.
+                if b - bounds[p - 1] >= 2:
+                    w = weights[b - 1]
+                    if max(left - w, right + w) < worse:
+                        bounds[p] = b - 1
+                        moved = True
+                        continue
+                # Shift the right segment's first element leftward.
+                if bounds[p + 1] - b >= 2:
+                    w = weights[b]
+                    if max(left + w, right - w) < worse:
+                        bounds[p] = b + 1
+                        moved = True
+                        continue
+                break
     return bounds
 
 

@@ -8,6 +8,14 @@
   Table-2 metrics + source).
 * ``POST /batch`` — a JSON list of request objects (or
   ``{"requests": [...]}``); answers per item, errors included inline.
+* ``POST /repartition`` — one
+  :class:`~repro.service.requests.RepartitionRequest` (old assignment
+  + new weights); answers with the migration-minimizing plan (moved
+  gids per rank, weight moved, LB before/after).  Served through the
+  same coalescing, admission control, metrics, and trace propagation
+  as ``/partition``, with a server-local plan LRU in place of the
+  engine's response cache (plans are diffs against a caller-supplied
+  assignment, not pure partition functions).
 * ``GET /healthz`` — liveness, the in-flight/pending picture, and the
   rolling multi-window SLO verdict (``ok`` / ``degraded``).
 * ``GET /methods`` — the partitioner registry as JSON.
@@ -62,7 +70,7 @@ import json
 import os
 import sys
 import time
-from collections import deque
+from collections import OrderedDict, deque
 from contextlib import ExitStack, suppress
 from time import perf_counter
 
@@ -72,6 +80,7 @@ from ..seam.dss import dss_memo_stats
 from ..seam.element import geometry_cache_stats
 from ..service import PartitionEngine, PartitionRequest
 from ..service.engine import _pool_compute, _record_response_metrics
+from ..service.requests import RepartitionRequest
 from ..telemetry import (
     RequestContext,
     SLOTracker,
@@ -107,6 +116,9 @@ MAX_BATCH_ITEMS = 4096
 #: Capacity of the /debug/requests ring buffer.
 DEBUG_RING_SIZE = 128
 
+#: Capacity of the server-local repartition plan LRU.
+REPARTITION_CACHE_SIZE = 64
+
 #: Every route the server answers (404 bodies list these as a hint).
 KNOWN_ROUTES = (
     "/batch",
@@ -117,6 +129,7 @@ KNOWN_ROUTES = (
     "/methods",
     "/metrics",
     "/partition",
+    "/repartition",
 )
 
 
@@ -196,6 +209,7 @@ class PartitionServer:
         self.session: TelemetrySession | None = None
         self.slo = slo if slo is not None else SLOTracker()
         self._recent: deque[dict] = deque(maxlen=DEBUG_RING_SIZE)
+        self._repart_cache: "OrderedDict[str, object]" = OrderedDict()
         self._started_at = time.time()
 
     # -- lifecycle ------------------------------------------------------
@@ -433,6 +447,8 @@ class PartitionServer:
             return await self._serve_partition(request)
         if route == ("POST", "/batch"):
             return await self._serve_batch(request)
+        if route == ("POST", "/repartition"):
+            return await self._serve_repartition(request)
         if route == ("GET", "/healthz"):
             return self._serve_healthz()
         if route == ("GET", "/methods"):
@@ -469,6 +485,19 @@ class PartitionServer:
             # are all *validation* failures: 422, never a 500.
             raise HTTPError(422, "invalid_request", str(exc))
 
+    def _parse_repartition_request(self, data: object) -> RepartitionRequest:
+        if not isinstance(data, dict):
+            raise HTTPError(
+                400, "bad_json", "request body must be a JSON object"
+            )
+        try:
+            return RepartitionRequest.from_dict(data)
+        except ValueError as exc:
+            # Bad weights (negative/NaN/wrong length), malformed old
+            # assignments, unknown scenarios, and capability violations
+            # are all *validation* failures: 422, never a 500.
+            raise HTTPError(422, "invalid_request", str(exc))
+
     def _decode_json(self, body: bytes) -> object:
         try:
             return json.loads(body.decode("utf-8"))
@@ -490,6 +519,16 @@ class PartitionServer:
             200,
             json_body(self._stamp_identity(response.to_dict())),
             partitioner=preq.method,
+            source=response.source,
+        )
+
+    async def _serve_repartition(self, request: HTTPRequest) -> _Result:
+        rreq = self._parse_repartition_request(self._decode_json(request.body))
+        response = await self._resolve_repartition(rreq)
+        return _Result(
+            200,
+            json_body(self._stamp_identity(response.to_dict())),
+            partitioner=rreq.method,
             source=response.source,
         )
 
@@ -554,7 +593,22 @@ class PartitionServer:
             }
             for s in registry.specs()
         ]
-        return _Result(200, json_body({"schema": 1, "methods": methods}))
+        from .. import scenarios as scenario_registry
+
+        scenarios = [
+            {
+                "name": s.name,
+                "description": s.description,
+                "params": dict(s.params),
+            }
+            for s in scenario_registry.specs()
+        ]
+        return _Result(
+            200,
+            json_body(
+                {"schema": 1, "methods": methods, "scenarios": scenarios}
+            ),
+        )
 
     def _serve_metrics(self) -> _Result:
         session = current_session()
@@ -665,13 +719,36 @@ class PartitionServer:
         if hit is not None:
             self._record(hit)
             return hit
+        return await self._admit_and_compute(request, self._record)
+
+    async def _resolve_repartition(self, request: RepartitionRequest):
+        """Answer one repartition request on the event loop.
+
+        Same coalescing and admission control as :meth:`_resolve`
+        (the shared ``_inflight`` map cannot mix the two request kinds:
+        repartition cache keys carry a ``"kind"`` marker); the cache
+        tier is the server-local plan LRU instead of the engine's
+        content-addressed response cache.
+        """
+        key = request.cache_key()
+        hit = self._repart_cache.get(key)
+        if hit is not None:
+            self._repart_cache.move_to_end(key)
+            inc("server_repartition_cache_hits")
+            response = hit.with_source("memory")
+            self._record_repartition(response)
+            return response
+        return await self._admit_and_compute(request, self._record_repartition)
+
+    async def _admit_and_compute(self, request, record):
+        """Coalesce -> admit -> compute for one uncached request."""
         key = request.cache_key()
         inflight = self._inflight.get(key)
         if inflight is not None:
             inc("server_coalesced_total")
             response = await asyncio.shield(inflight)
             response = response.with_source("coalesced")
-            self._record(response)
+            record(response)
             return response
         if self._closing:
             raise HTTPError(
@@ -691,7 +768,7 @@ class PartitionServer:
         task.add_done_callback(lambda t, key=key: self._forget_inflight(key, t))
         set_gauge("server_queue_depth", len(self._inflight))
         response = await asyncio.shield(task)
-        self._record(response)
+        record(response)
         return response
 
     def _forget_inflight(self, key: str, task: asyncio.Task) -> None:
@@ -719,10 +796,39 @@ class PartitionServer:
         if payload is not None:
             replay_payload(payload)
             inc("worker_payloads_merged")
-        self.engine.cache.put(request, response)
+        if isinstance(request, RepartitionRequest):
+            self._repart_cache[request.cache_key()] = response
+            while len(self._repart_cache) > REPARTITION_CACHE_SIZE:
+                self._repart_cache.popitem(last=False)
+        else:
+            self.engine.cache.put(request, response)
         return response
 
     def _record(self, response) -> None:
         """Per-response bookkeeping shared by every serve path."""
         self.engine.stats.record(response)
         _record_response_metrics(response)
+
+    def _record_repartition(self, response) -> None:
+        """Repartition bookkeeping: plan-shaped metrics, shared stats.
+
+        Deliberately not :func:`_record_response_metrics` — a plan has
+        migration quantities, not Table-2 partition metrics.
+        """
+        self.engine.stats.record(response)
+        partitioner = registry.get(response.request.method).name
+        inc(
+            "server_repartition_total",
+            source=response.source, partitioner=partitioner,
+        )
+        plan = response.plan
+        observe("repartition_lb_after", plan.lb_after, partitioner=partitioner)
+        observe(
+            "repartition_fraction_moved",
+            plan.fraction_moved, partitioner=partitioner,
+        )
+        if response.source == "computed":
+            observe(
+                "request_compute_seconds",
+                response.elapsed_s, partitioner=partitioner,
+            )

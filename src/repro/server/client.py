@@ -83,6 +83,20 @@ class Connection:
             headers={"Content-Type": "application/json"},
         )
 
+    async def partition(self, request) -> ClientResponse:
+        """POST one partition request (a wire dict or a
+        :class:`~repro.service.requests.PartitionRequest`)."""
+        if hasattr(request, "to_wire"):
+            request = request.to_wire()
+        return await self.post_json("/partition", request)
+
+    async def repartition(self, request) -> ClientResponse:
+        """POST one repartition request (a wire dict or a
+        :class:`~repro.service.requests.RepartitionRequest`)."""
+        if hasattr(request, "to_wire"):
+            request = request.to_wire()
+        return await self.post_json("/repartition", request)
+
     async def _read_response(self) -> ClientResponse:
         status_line = await self._reader.readline()
         if not status_line:

@@ -26,11 +26,14 @@ Quickstart::
 """
 
 from .cache import PartitionCache
-from .engine import PartitionEngine, compute_response
+from .engine import PartitionEngine, compute_repartition_response, compute_response
 from .requests import (
     METRIC_FIELDS,
     PartitionRequest,
     PartitionResponse,
+    RepartitionRequest,
+    RepartitionResponse,
+    WeightSpec,
     load_request_file,
     quality_metrics,
 )
@@ -42,8 +45,12 @@ __all__ = [
     "PartitionEngine",
     "PartitionRequest",
     "PartitionResponse",
+    "RepartitionRequest",
+    "RepartitionResponse",
     "RequestRecord",
     "ServiceStats",
+    "WeightSpec",
+    "compute_repartition_response",
     "compute_response",
     "load_request_file",
     "quality_metrics",

@@ -2,7 +2,11 @@
 
 Partitions are pure functions of their request's canonical form, so
 the cache is content-addressed: the key is the SHA-256 of the request's
-canonical JSON (:meth:`PartitionRequest.cache_key`).  Two tiers:
+canonical JSON (:meth:`PartitionRequest.cache_key`).  Per-element
+weights are part of that form — inline weights as an O(1) content
+digest, scenario weights as their ``(name, step, params)`` spec — so
+weighted, unweighted, and differently-weighted requests can never
+collide, with no cache-layer special-casing.  Two tiers:
 
 * an in-memory LRU (bounded by ``capacity`` responses) that makes
   repeated requests inside one process near-free;

@@ -29,6 +29,8 @@ from collections.abc import Sequence
 from concurrent.futures import Executor, ProcessPoolExecutor, wait
 from time import perf_counter
 
+import numpy as np
+
 from ..partition import registry
 from ..partition.pipeline import run_pipeline
 from ..telemetry import (
@@ -45,10 +47,16 @@ from ..telemetry import (
     worker_session,
 )
 from .cache import PartitionCache
-from .requests import PartitionRequest, PartitionResponse, quality_metrics
+from .requests import (
+    PartitionRequest,
+    PartitionResponse,
+    RepartitionRequest,
+    RepartitionResponse,
+    quality_metrics,
+)
 from .stats import ServiceStats
 
-__all__ = ["PartitionEngine", "compute_response"]
+__all__ = ["PartitionEngine", "compute_repartition_response", "compute_response"]
 
 
 def compute_response(request: PartitionRequest) -> PartitionResponse:
@@ -62,6 +70,10 @@ def compute_response(request: PartitionRequest) -> PartitionResponse:
     traced individually, and the mesh/graph stages are memoized per
     process, so a batch sweeping several methods at the same ``ne``
     builds the mesh and graph once.
+
+    For weighted requests the ``lb_weight`` metric reports the load
+    imbalance under the *request's* weights (the quantity a weighted
+    cut balances), not the graph's uniform vertex weights.
     """
     start = perf_counter()
     with span(
@@ -72,17 +84,64 @@ def compute_response(request: PartitionRequest) -> PartitionResponse:
         ne=request.ne,
         nparts=request.nparts,
     ):
+        weights = request.resolve_weights()
         result = run_pipeline(
             request.method,
             request.ne,
             request.nparts,
             seed=request.seed,
             schedule=request.schedule,
+            weights=weights,
         )
+    metrics = quality_metrics(result.quality)
+    if weights is not None:
+        from ..partition.metrics import load_balance
+
+        loads = np.bincount(
+            result.partition.assignment, weights=weights,
+            minlength=request.nparts,
+        )
+        metrics["lb_weight"] = load_balance(loads)
     return PartitionResponse(
         request=request,
         assignment=result.partition.assignment,
-        metrics=quality_metrics(result.quality),
+        metrics=metrics,
+        elapsed_s=perf_counter() - start,
+        source="computed",
+    )
+
+
+def compute_repartition_response(request: RepartitionRequest) -> RepartitionResponse:
+    """Plan one rebalancing migration (runs in worker processes).
+
+    Module-level (picklable) and deterministic, like
+    :func:`compute_response`; the heavy lifting is
+    :func:`repro.partition.repartition.plan_repartition` on the
+    streaming key path.
+    """
+    from ..partition.repartition import plan_repartition
+
+    start = perf_counter()
+    with span(
+        "repartition",
+        "service",
+        key=request.cache_key()[:12],
+        method=request.method,
+        ne=request.ne,
+        nparts=request.nparts,
+    ):
+        plan = plan_repartition(
+            request.old_assignment,
+            request.resolve_weights(),
+            ne=request.ne,
+            nparts=request.nparts,
+            method=request.method,
+            seed=request.seed,
+            schedule=request.schedule,
+        )
+    return RepartitionResponse(
+        request=request,
+        plan=plan,
         elapsed_s=perf_counter() - start,
         source="computed",
     )
@@ -99,13 +158,21 @@ def _pool_compute(item: tuple[PartitionRequest, bool, dict | None]):
     ``ctx_dict`` is the request's trace context crossing the process
     boundary: the worker re-enters it, so worker-side spans and log
     records carry the same trace id as the server-side request.
+
+    Dispatches on the request type, so partition and repartition
+    requests share one pool path (and one tuple shape on the wire).
     """
     request, collect, ctx_dict = item
+    compute = (
+        compute_repartition_response
+        if isinstance(request, RepartitionRequest)
+        else compute_response
+    )
     if not collect:
-        return compute_response(request), None
+        return compute(request), None
     with request_context(RequestContext.from_dict(ctx_dict)):
         with worker_session() as session:
-            response = compute_response(request)
+            response = compute(request)
             log_event(
                 "worker.compute",
                 key=request.cache_key()[:12],

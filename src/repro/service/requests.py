@@ -29,6 +29,9 @@ __all__ = [
     "METRIC_FIELDS",
     "PartitionRequest",
     "PartitionResponse",
+    "RepartitionRequest",
+    "RepartitionResponse",
+    "WeightSpec",
     "quality_metrics",
     "load_request_file",
 ]
@@ -50,6 +53,176 @@ def quality_metrics(quality) -> dict[str, float | int]:
     return {name: getattr(quality, name) for name in METRIC_FIELDS}
 
 
+def _sha256_json(payload: dict) -> str:
+    text = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(text.encode("ascii")).hexdigest()
+
+
+@dataclass(frozen=True, eq=False)
+class WeightSpec:
+    """Per-element weights of a request: inline values OR a named scenario.
+
+    Two mutually exclusive forms:
+
+    * **inline** — ``values`` carries the ``(K,)`` float64 array
+      itself.  On the wire it is a plain JSON list; in the *canonical*
+      (hashed) form it collapses to ``{"inline": {"n": ..., "sha256":
+      ...}}`` so cache keys stay O(1) regardless of K, while any
+      change to any weight changes the key.
+    * **scenario** — ``scenario``/``step``/``params`` name a generator
+      from :mod:`repro.scenarios`; the weights are regenerated
+      deterministically wherever the request is resolved (server
+      worker, CLI, cache validation), so the wire form stays tiny even
+      for huge meshes.
+
+    Both forms JSON round-trip (:meth:`to_wire` / :meth:`coerce`).
+    """
+
+    scenario: str | None = None
+    step: int = 0
+    params: tuple[tuple[str, float], ...] = ()
+    values: np.ndarray | None = field(default=None, repr=False)
+
+    def __post_init__(self) -> None:
+        if (self.scenario is None) == (self.values is None):
+            raise ValueError(
+                "weights must be either inline values or a named scenario"
+            )
+        if self.scenario is not None:
+            from .. import scenarios
+
+            spec = scenarios.get_scenario(self.scenario)
+            step = self.step
+            if not isinstance(step, (int, np.integer)) or isinstance(step, bool):
+                raise ValueError(f"scenario step must be an integer, got {step!r}")
+            object.__setattr__(self, "step", int(step))
+            params = self.params
+            if isinstance(params, dict):
+                params = params.items()
+            try:
+                params = tuple(sorted((str(k), float(v)) for k, v in params))
+            except (TypeError, ValueError) as exc:
+                raise ValueError(
+                    f"scenario params must map names to numbers: {exc}"
+                ) from None
+            known = {name for name, _ in spec.params}
+            unknown = sorted(set(name for name, _ in params) - known)
+            if unknown:
+                raise ValueError(
+                    f"scenario {self.scenario!r} does not accept parameters "
+                    f"{unknown}; accepted: {sorted(known)}"
+                )
+            object.__setattr__(self, "params", params)
+        else:
+            from ..partition.registry import validate_weights
+
+            arr = validate_weights(self.values)
+            arr.setflags(write=False)
+            object.__setattr__(self, "values", arr)
+
+    @classmethod
+    def coerce(cls, obj, k: int | None = None) -> "WeightSpec | None":
+        """Normalize any accepted weights form (or ``None``).
+
+        Accepts an existing :class:`WeightSpec`, a numeric list/array
+        (inline), or a wire object: ``{"scenario": name, "step": ...,
+        "params": {...}}`` / ``{"inline": [...]}``.
+
+        Args:
+            obj: The weights payload (``None`` passes through).
+            k: Required inline length (``6 ne^2``) when known.
+        """
+        if obj is None:
+            return None
+        if isinstance(obj, cls):
+            spec = obj
+        elif isinstance(obj, dict):
+            if "scenario" in obj:
+                extra = sorted(set(obj) - {"scenario", "step", "params"})
+                if extra:
+                    raise ValueError(f"unknown scenario weight fields: {extra}")
+                params = obj.get("params") or {}
+                if not isinstance(params, dict):
+                    raise ValueError("scenario params must be an object")
+                spec = cls(
+                    scenario=str(obj["scenario"]),
+                    step=obj.get("step", 0),
+                    params=tuple(sorted(params.items())),
+                )
+            elif "inline" in obj:
+                extra = sorted(set(obj) - {"inline"})
+                if extra:
+                    raise ValueError(f"unknown inline weight fields: {extra}")
+                spec = cls(values=np.asarray(obj["inline"], dtype=np.float64))
+            else:
+                raise ValueError(
+                    "weights object needs a 'scenario' name or 'inline' values"
+                )
+        elif isinstance(obj, (list, tuple, np.ndarray)):
+            spec = cls(values=np.asarray(obj, dtype=np.float64))
+        else:
+            raise ValueError(
+                "weights must be a numeric list, an array, or a scenario "
+                f"object, got {type(obj).__name__}"
+            )
+        if k is not None and spec.values is not None and len(spec.values) != k:
+            raise ValueError(
+                f"weights must have one entry per element: expected {k}, "
+                f"got {len(spec.values)}"
+            )
+        return spec
+
+    def canonical(self) -> dict:
+        """Hashed form: scenario spec verbatim, inline as a digest."""
+        if self.scenario is not None:
+            return {
+                "scenario": self.scenario,
+                "step": self.step,
+                "params": dict(self.params),
+            }
+        return {
+            "inline": {
+                "n": int(len(self.values)),
+                "sha256": hashlib.sha256(self.values.tobytes()).hexdigest(),
+            }
+        }
+
+    def to_wire(self):
+        """Round-trippable JSON form (full values for inline weights)."""
+        if self.scenario is None:
+            return self.values.tolist()
+        out: dict = {"scenario": self.scenario}
+        if self.step:
+            out["step"] = self.step
+        if self.params:
+            out["params"] = dict(self.params)
+        return out
+
+    def resolve(self, ne: int) -> np.ndarray:
+        """The concrete ``(6 ne^2,)`` weight array at resolution ``ne``."""
+        if self.values is not None:
+            return self.values
+        from .. import scenarios
+
+        return scenarios.scenario_weights(
+            self.scenario, ne, self.step, **dict(self.params)
+        )
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, WeightSpec):
+            return NotImplemented
+        if self.scenario is not None or other.scenario is not None:
+            return (self.scenario, self.step, self.params) == (
+                other.scenario, other.step, other.params
+            )
+        return self.values.shape == other.values.shape and bool(
+            (self.values == other.values).all()
+        )
+
+    def __hash__(self) -> int:
+        return hash(_sha256_json(self.canonical()))
+
+
 @dataclass(frozen=True)
 class PartitionRequest:
     """One partitioning problem, in canonical form.
@@ -62,12 +235,15 @@ class PartitionRequest:
         seed: Seed for randomized partitioners.
         schedule: Optional face-local refinement schedule (methods
             with schedule support only).
+        weights: Optional per-element weights — a :class:`WeightSpec`
+            (inline values or named scenario); plain lists/arrays and
+            wire objects are coerced.
 
     The method name and the request's capability profile (``ne``
-    admissibility, schedule support) are validated against the
-    partitioner registry at construction time, so violations fail
-    here — with the registry's did-you-mean / capability messages —
-    rather than mid-compute.
+    admissibility, schedule support, weight support) are validated
+    against the partitioner registry at construction time, so
+    violations fail here — with the registry's did-you-mean /
+    capability messages — rather than mid-compute.
     """
 
     ne: int
@@ -75,6 +251,7 @@ class PartitionRequest:
     method: str = "sfc"
     seed: int = 0
     schedule: str | None = None
+    weights: WeightSpec | None = None
 
     def __post_init__(self) -> None:
         from ..partition import registry
@@ -92,10 +269,14 @@ class PartitionRequest:
             )
         if self.schedule is not None and not isinstance(self.schedule, str):
             raise ValueError("schedule must be a string or None")
+        object.__setattr__(self, "weights", WeightSpec.coerce(self.weights, self.k))
         # Raises UnknownPartitionerError (with a did-you-mean) for a
         # bad name, CapabilityError for a contract violation.
         registry.get(self.method).validate(
-            ne=self.ne, nparts=self.nparts, schedule=self.schedule
+            ne=self.ne,
+            nparts=self.nparts,
+            schedule=self.schedule,
+            weighted=self.weights is not None,
         )
 
     @property
@@ -104,26 +285,45 @@ class PartitionRequest:
         return 6 * self.ne * self.ne
 
     def canonical(self) -> dict:
-        """Key-sorted plain dict — the hashed canonical form."""
-        return {
+        """Key-sorted plain dict — the hashed canonical form.
+
+        Inline weights appear as an O(1) content digest, scenarios as
+        their spec; unweighted requests omit the key entirely, so
+        every pre-weights cache key is preserved and a weighted
+        request can never collide with its unweighted twin.
+        """
+        out = {
             "method": self.method,
             "ne": self.ne,
             "nparts": self.nparts,
             "schedule": self.schedule,
             "seed": self.seed,
         }
+        if self.weights is not None:
+            out["weights"] = self.weights.canonical()
+        return out
 
     def cache_key(self) -> str:
         """Content address: SHA-256 of the canonical JSON form."""
-        payload = json.dumps(self.canonical(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(payload.encode("ascii")).hexdigest()
+        return _sha256_json(self.canonical())
+
+    def to_wire(self) -> dict:
+        """Round-trippable plain-dict form (full inline weights)."""
+        out = self.canonical()
+        if self.weights is not None:
+            out["weights"] = self.weights.to_wire()
+        return out
+
+    def resolve_weights(self) -> np.ndarray | None:
+        """The concrete weight array (generating scenario weights)."""
+        return None if self.weights is None else self.weights.resolve(self.ne)
 
     def to_json(self) -> str:
-        return json.dumps(self.canonical(), sort_keys=True)
+        return json.dumps(self.to_wire(), sort_keys=True)
 
     @classmethod
     def from_dict(cls, data: dict) -> "PartitionRequest":
-        known = {"ne", "nparts", "method", "seed", "schedule"}
+        known = {"ne", "nparts", "method", "seed", "schedule", "weights"}
         unknown = set(data) - known
         if unknown:
             raise ValueError(f"unknown request fields: {sorted(unknown)}")
@@ -135,6 +335,7 @@ class PartitionRequest:
             method=str(data.get("method", "sfc")),
             seed=int(data.get("seed", 0)),
             schedule=data.get("schedule") or None,
+            weights=data.get("weights"),
         )
 
     @classmethod
@@ -194,7 +395,7 @@ class PartitionResponse:
         """JSON-ready plain-dict form (shared by files and the server)."""
         return {
             "schema": 1,
-            "request": self.request.canonical(),
+            "request": self.request.to_wire(),
             "assignment": self.assignment.tolist(),
             "metrics": self.metrics,
             "elapsed_s": self.elapsed_s,
@@ -211,6 +412,220 @@ class PartitionResponse:
             request=PartitionRequest.from_dict(data["request"]),
             assignment=np.asarray(data["assignment"], dtype=np.int64),
             metrics=data["metrics"],
+            elapsed_s=float(data.get("elapsed_s", 0.0)),
+            source=str(data.get("source", "computed")),
+        )
+
+
+@dataclass(frozen=True, eq=False)
+class RepartitionRequest:
+    """One rebalancing problem: re-cut under new weights, diff vs old.
+
+    Attributes:
+        ne: Elements per cube-face edge.
+        old_assignment: ``(6 ne^2,)`` current owner per element.
+        weights: New per-element weights (required) — inline values or
+            a named scenario, as for :class:`PartitionRequest`.
+        nparts: New processor count (default: inferred from
+            ``old_assignment``; may differ to grow/shrink the job).
+        method: Weighted method cutting the new partition.
+        seed: Determinism seed.
+        schedule: Optional refinement schedule.
+
+    The canonical form carries a ``"kind": "repartition"`` marker plus
+    a digest of the old assignment, so repartition cache keys can
+    never collide with partition keys even for identical parameters.
+    """
+
+    ne: int
+    old_assignment: np.ndarray = field(repr=False)
+    weights: WeightSpec = None
+    nparts: int | None = None
+    method: str = "sfc"
+    seed: int = 0
+    schedule: str | None = None
+
+    def __post_init__(self) -> None:
+        from ..partition import registry
+
+        for name in ("ne", "seed"):
+            value = getattr(self, name)
+            if not isinstance(value, (int, np.integer)) or isinstance(value, bool):
+                raise ValueError(f"{name} must be an integer, got {value!r}")
+            object.__setattr__(self, name, int(value))
+        if self.ne < 1:
+            raise ValueError(f"ne must be >= 1, got {self.ne}")
+        try:
+            old = np.asarray(self.old_assignment, dtype=np.int64)
+        except (TypeError, ValueError):
+            raise ValueError("old_assignment must be an integer array") from None
+        if old.ndim != 1 or len(old) != self.k:
+            raise ValueError(
+                f"old_assignment must have one owner per element: expected "
+                f"{self.k} entries for ne={self.ne}, got shape {old.shape}"
+            )
+        if len(old) and (old.min() < 0 or old.max() >= self.k):
+            raise ValueError("old_assignment owners must be in [0, K)")
+        old.setflags(write=False)
+        object.__setattr__(self, "old_assignment", old)
+        nparts = self.nparts
+        if nparts is None:
+            nparts = int(old.max()) + 1 if len(old) else 1
+        if not isinstance(nparts, (int, np.integer)) or isinstance(nparts, bool):
+            raise ValueError(f"nparts must be an integer, got {nparts!r}")
+        if not 1 <= int(nparts) <= self.k:
+            raise ValueError(f"nparts must be in [1, K={self.k}], got {nparts}")
+        object.__setattr__(self, "nparts", int(nparts))
+        if self.schedule is not None and not isinstance(self.schedule, str):
+            raise ValueError("schedule must be a string or None")
+        weights = WeightSpec.coerce(self.weights, self.k)
+        if weights is None:
+            raise ValueError("repartition requires weights (the new load)")
+        object.__setattr__(self, "weights", weights)
+        registry.get(self.method).validate(
+            ne=self.ne,
+            nparts=self.nparts,
+            schedule=self.schedule,
+            weighted=True,
+        )
+
+    @property
+    def k(self) -> int:
+        """Total element count ``K = 6 ne^2``."""
+        return 6 * self.ne * self.ne
+
+    def canonical(self) -> dict:
+        """Hashed canonical form (old assignment as an O(1) digest)."""
+        return {
+            "kind": "repartition",
+            "method": self.method,
+            "ne": self.ne,
+            "nparts": self.nparts,
+            "old_sha256": hashlib.sha256(self.old_assignment.tobytes()).hexdigest(),
+            "schedule": self.schedule,
+            "seed": self.seed,
+            "weights": self.weights.canonical(),
+        }
+
+    def cache_key(self) -> str:
+        """Content address: SHA-256 of the canonical JSON form."""
+        return _sha256_json(self.canonical())
+
+    def to_wire(self) -> dict:
+        """Round-trippable plain-dict form (full old assignment)."""
+        return {
+            "ne": self.ne,
+            "nparts": self.nparts,
+            "method": self.method,
+            "seed": self.seed,
+            "schedule": self.schedule,
+            "old_assignment": self.old_assignment.tolist(),
+            "weights": self.weights.to_wire(),
+        }
+
+    def resolve_weights(self) -> np.ndarray:
+        """The concrete new-weight array."""
+        return self.weights.resolve(self.ne)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_wire(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "RepartitionRequest":
+        known = {
+            "ne", "nparts", "method", "seed", "schedule",
+            "old_assignment", "weights",
+        }
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(f"unknown repartition fields: {sorted(unknown)}")
+        missing = {"ne", "old_assignment", "weights"} - set(data)
+        if missing:
+            raise ValueError(
+                f"repartition needs 'ne', 'old_assignment' and 'weights' "
+                f"(missing: {sorted(missing)})"
+            )
+        nparts = data.get("nparts")
+        return cls(
+            ne=int(data["ne"]),
+            old_assignment=data["old_assignment"],
+            weights=data["weights"],
+            nparts=None if nparts is None else int(nparts),
+            method=str(data.get("method", "sfc")),
+            seed=int(data.get("seed", 0)),
+            schedule=data.get("schedule") or None,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "RepartitionRequest":
+        return cls.from_dict(json.loads(text))
+
+    def __eq__(self, other) -> bool:
+        if not isinstance(other, RepartitionRequest):
+            return NotImplemented
+        return self.canonical() == other.canonical()
+
+    def __hash__(self) -> int:
+        return hash(self.cache_key())
+
+
+@dataclass(frozen=True)
+class RepartitionResponse:
+    """The service's answer to one :class:`RepartitionRequest`.
+
+    Attributes:
+        request: The request answered.
+        plan: The migration plan
+            (:class:`~repro.partition.repartition.RepartitionPlan`).
+        elapsed_s: Compute time of the underlying planning run.
+        source: ``"computed"``, ``"memory"`` (served from the plan
+            LRU), or ``"coalesced"``.
+    """
+
+    request: RepartitionRequest
+    plan: object = field(repr=False)
+    elapsed_s: float = 0.0
+    source: str = "computed"
+
+    def with_source(self, source: str) -> "RepartitionResponse":
+        return replace(self, source=source)
+
+    def to_dict(self) -> dict:
+        """JSON-ready plain-dict form (shared by files and the server)."""
+        return {
+            "schema": 1,
+            "request": self.request.to_wire(),
+            "plan": self.plan.to_dict(include_assignment=True),
+            "elapsed_s": self.elapsed_s,
+            "source": self.source,
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RepartitionResponse":
+        from ..partition.repartition import RepartitionPlan
+
+        data = json.loads(text)
+        p = data["plan"]
+        plan = RepartitionPlan(
+            nparts=int(p["nparts"]),
+            method=str(p["method"]),
+            new_assignment=np.asarray(p["assignment"], dtype=np.int64),
+            moves={
+                int(rank): np.asarray(gids, dtype=np.int64)
+                for rank, gids in p["moves"].items()
+            },
+            elements_moved=int(p["elements_moved"]),
+            weight_moved=float(p["weight_moved"]),
+            fraction_moved=float(p["fraction_moved"]),
+            lb_before=float(p["lb_before"]),
+            lb_after=float(p["lb_after"]),
+        )
+        return cls(
+            request=RepartitionRequest.from_dict(data["request"]),
+            plan=plan,
             elapsed_s=float(data.get("elapsed_s", 0.0)),
             source=str(data.get("source", "computed")),
         )

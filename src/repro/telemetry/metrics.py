@@ -51,6 +51,8 @@ BUCKETS_BY_METRIC: dict[str, tuple[float, ...]] = {
     "request_lb_spcv": _LB_BUCKETS,
     "request_edgecut": _COUNT_BUCKETS,
     "request_tcv_points": _COUNT_BUCKETS,
+    "repartition_lb_after": _LB_BUCKETS,
+    "repartition_fraction_moved": _LB_BUCKETS,
     "server_request_seconds": _SERVER_LATENCY_BUCKETS,
 }
 
@@ -67,6 +69,16 @@ HELP_BY_METRIC: dict[str, str] = {
     "request_lb_nelemd": "Element load imbalance of served partitions.",
     "request_lb_spcv": "Comm-volume load imbalance of served partitions.",
     "request_tcv_points": "Total communication volume (points) served.",
+    "repartition_fraction_moved": (
+        "Fraction of elements migrated per served repartition plan."
+    ),
+    "repartition_lb_after": "Load imbalance after the repartition plan.",
+    "server_repartition_cache_hits": (
+        "Repartition requests answered from the server plan LRU."
+    ),
+    "server_repartition_total": (
+        "Repartition plans served, by source and partitioner."
+    ),
     "server_coalesced_total": (
         "Requests that joined another request's in-flight compute."
     ),

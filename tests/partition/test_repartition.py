@@ -166,3 +166,134 @@ class TestLoadTracker:
         p.validate()
         assert np.array_equal(np.sort(p.assignment), np.arange(k))
         assert tracker.history[0]["lb"] == 0.0
+
+
+class TestKeyedCurvePath:
+    """The streaming (pass-``ne``) path must match the materialized curve."""
+
+    def test_keyed_matches_materialized(self, curve):
+        w = moving_weights(curve, center_gid=10)
+        via_curve = repartition_curve(curve, w, 12)
+        via_ne = repartition_curve(4, w, 12)
+        np.testing.assert_array_equal(via_curve.assignment, via_ne.assignment)
+
+    def test_keyed_matches_materialized_chunked(self, curve):
+        w = moving_weights(curve, center_gid=20)
+        via_curve = repartition_curve(curve, w, 8)
+        via_ne = repartition_curve(4, w, 8, chunk=17)
+        np.testing.assert_array_equal(via_curve.assignment, via_ne.assignment)
+
+    def test_schedule_conflict_rejected(self, curve):
+        with pytest.raises(ValueError, match="conflicts with the curve's"):
+            repartition_curve(curve, np.ones(len(curve)), 4, schedule="0:d1")
+
+    def test_tracker_accepts_plain_ne(self, curve):
+        """LoadTracker(ne, ...) never materializes the curve — the
+        Ne >= 256 trajectory path — and matches the curve-built one."""
+        by_curve = LoadTracker(curve, nparts=12)
+        by_ne = LoadTracker(4, nparts=12)
+        for center in (5, 9, 13):
+            w = moving_weights(curve, center)
+            a = by_curve.update(w)
+            b = by_ne.update(w)
+            np.testing.assert_array_equal(a.assignment, b.assignment)
+        assert by_curve.history == by_ne.history
+
+
+class TestPlanRepartition:
+    def test_moves_reconstruct_new_assignment(self, curve):
+        from repro.partition import plan_repartition
+
+        w = moving_weights(curve, center_gid=30)
+        old = sfc_partition(4, 12).assignment
+        plan = plan_repartition(old, w, ne=4)
+        rebuilt = old.copy()
+        for rank, gids in plan.moves.items():
+            rebuilt[gids] = rank
+        np.testing.assert_array_equal(rebuilt, plan.new_assignment)
+
+    def test_only_changed_elements_appear(self, curve):
+        from repro.partition import plan_repartition
+
+        w = moving_weights(curve, center_gid=30)
+        old = sfc_partition(4, 12).assignment
+        plan = plan_repartition(old, w, ne=4)
+        listed = sum(len(g) for g in plan.moves.values())
+        assert listed == plan.elements_moved
+        for rank, gids in plan.moves.items():
+            assert (old[gids] != rank).all()  # every listed gid truly moves
+            assert (plan.new_assignment[gids] == rank).all()
+
+    def test_lb_before_after_consistent(self, curve):
+        from repro.partition import plan_repartition
+
+        w = moving_weights(curve, center_gid=30)
+        old = sfc_partition(4, 12).assignment
+        plan = plan_repartition(old, w, ne=4)
+        before = np.bincount(old, weights=w, minlength=12)
+        after = np.bincount(plan.new_assignment, weights=w, minlength=12)
+        assert plan.lb_before == pytest.approx(load_balance(before))
+        assert plan.lb_after == pytest.approx(load_balance(after))
+        assert plan.lb_after <= plan.lb_before + 1e-12
+        assert plan.weight_moved == pytest.approx(
+            float(w[old != plan.new_assignment].sum())
+        )
+
+    def test_identity_plan_is_empty(self, curve):
+        from repro.partition import plan_repartition
+
+        old = sfc_partition(4, 12).assignment
+        plan = plan_repartition(old, np.ones(len(curve)), ne=4)
+        assert plan.elements_moved == 0
+        assert plan.moves == {}
+        assert plan.fraction_moved == 0.0
+
+    def test_grow_and_shrink_nparts(self, curve):
+        from repro.partition import plan_repartition
+
+        old = sfc_partition(4, 12).assignment
+        w = np.ones(len(curve))
+        grown = plan_repartition(old, w, ne=4, nparts=16)
+        shrunk = plan_repartition(old, w, ne=4, nparts=6)
+        assert grown.nparts == 16 and grown.new_assignment.max() == 15
+        assert shrunk.nparts == 6 and shrunk.new_assignment.max() == 5
+
+    def test_method_label_and_registry_routing(self, curve):
+        from repro.partition import plan_repartition
+
+        w = moving_weights(curve, 12)
+        old = sfc_partition(4, 12).assignment
+        assert plan_repartition(old, w, ne=4).method == "sfc-rebal"
+        assert plan_repartition(old, w, ne=4, method="morton").method == "morton"
+
+    def test_unweighted_method_rejected(self, curve):
+        from repro.partition import plan_repartition
+        from repro.partition.registry import CapabilityError
+
+        old = sfc_partition(4, 12).assignment
+        with pytest.raises(CapabilityError, match="per-element weights"):
+            plan_repartition(old, np.ones(len(curve)), ne=4, method="block")
+
+    def test_malformed_old_assignment(self, curve):
+        from repro.partition import plan_repartition
+
+        with pytest.raises(ValueError, match="one owner per element"):
+            plan_repartition(np.zeros(5, dtype=int), np.ones(96), ne=4)
+        bad = np.zeros(96, dtype=int)
+        bad[0] = -1
+        with pytest.raises(ValueError, match=">= 0"):
+            plan_repartition(bad, np.ones(96), ne=4)
+
+    def test_plan_to_dict_json_ready(self, curve):
+        import json
+
+        from repro.partition import plan_repartition
+
+        w = moving_weights(curve, 30)
+        old = sfc_partition(4, 12).assignment
+        plan = plan_repartition(old, w, ne=4)
+        data = plan.to_dict(include_assignment=True)
+        json.dumps(data)  # must be JSON-clean
+        assert data["nparts"] == 12
+        assert len(data["assignment"]) == 96
+        assert all(isinstance(k, str) for k in data["moves"])
